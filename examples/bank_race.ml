@@ -1,0 +1,64 @@
+(* Competing transactions (paper, sections 3.1 and 6).
+
+   "The notion of multiple alternatives is orthogonal to the transaction
+   concept ... It could also be viewed as a set of competing transactions,
+   at most one of which will take effect."
+
+   A settlement engine knows three strategies for clearing a batch of
+   payments; their running times depend on data it cannot predict. All
+   three run as competing transactions against copy-on-write snapshots of
+   the ledger; the first to finish commits, and the ledger shows exactly
+   one strategy's effect.
+
+     dune exec examples/bank_race.exe
+*)
+
+let () =
+  let eng = Engine.create ~trace:false () in
+  let ledger = Txn.create_store eng ~records:4 in
+  let result = ref None in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"settlement" (fun ctx ->
+         (* Seed the accounts. *)
+         (match
+            Txn.with_txn ctx ledger (fun ctx t ->
+                Txn.write ctx t ~key:0 1000;
+                Txn.write ctx t ~key:1 500)
+          with
+         | Ok () -> ()
+         | Error _ -> failwith "seeding cannot conflict");
+         let strategy name cost fee =
+           {
+             Txn.name;
+             work =
+               (fun ctx t ->
+                 let a = Txn.read ctx t ~key:0 in
+                 let b = Txn.read ctx t ~key:1 in
+                 Engine.delay ctx cost (* data-dependent clearing work *);
+                 let amount = 250 in
+                 Txn.write ctx t ~key:0 (a - amount - fee);
+                 Txn.write ctx t ~key:1 (b + amount);
+                 Txn.write ctx t ~key:2 fee (* the house account *);
+                 (name, fee));
+           }
+         in
+         result :=
+           Some
+             (Txn.race ctx ledger
+                [
+                  strategy "netting" 2.5 3;
+                  strategy "gross-settlement" 0.8 9;
+                  strategy "batched" 1.6 5;
+                ])));
+  Engine.run eng;
+  (match !result with
+  | Some (Alt_block.Selected { value = name, fee; _ }) ->
+    Printf.printf "cleared by %S (fee %d)\n" name fee
+  | Some (Alt_block.Block_failed m) -> Printf.printf "settlement failed: %s\n" m
+  | None -> print_endline "settlement never finished");
+  Printf.printf "ledger: payer=%d payee=%d house=%d  (commits: %d)\n"
+    (Txn.get ledger ~key:0) (Txn.get ledger ~key:1) (Txn.get ledger ~key:2)
+    (Txn.commits ledger);
+  print_endline
+    "exactly one strategy's transfer is visible; the others were aborted\n\
+     snapshots that never touched the committed ledger."

@@ -1,0 +1,57 @@
+(* Quickstart: race three ways of computing the same answer as real
+   processes; the fastest successful one wins and the others are
+   eliminated — the paper's design on your own operating system.
+
+     dune exec examples/quickstart.exe
+*)
+
+(* Three "mutually exclusive alternatives" for finding a prime larger than
+   a bound: trial division from the bound up (fast when a prime is close),
+   a sieve (predictable), and a deliberately unreliable method. *)
+
+let is_prime n =
+  let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+  n > 1 && go 2
+
+let trial_division bound =
+  let rec go n = if is_prime n then n else go (n + 1) in
+  go (bound + 1)
+
+let sieve_method bound =
+  let limit = (2 * bound) + 1000 in
+  let composite = Bytes.make (limit + 1) '\000' in
+  for p = 2 to limit do
+    if Bytes.get composite p = '\000' then begin
+      let q = ref (p * p) in
+      while !q <= limit do
+        Bytes.set composite !q '\001';
+        q := !q + p
+      done
+    end
+  done;
+  let rec first n =
+    if n > limit then failwith "sieve exhausted"
+    else if Bytes.get composite n = '\000' then n
+    else first (n + 1)
+  in
+  first (bound + 1)
+
+let flaky_method _bound = failwith "this alternative happens to be broken"
+
+let () =
+  let bound = 10_000_019 in
+  Printf.printf "racing three alternatives for the first prime > %d ...\n%!" bound;
+  match
+    Fork_race.run ~timeout:30.
+      [
+        (fun () -> ("trial division", trial_division bound));
+        (fun () -> ("sieve", sieve_method bound));
+        (fun () -> ("flaky", flaky_method bound));
+      ]
+  with
+  | Fork_race.Winner { index; value = name, prime; elapsed } ->
+    Printf.printf "winner: alternative %d (%s) -> %d, in %.4f s\n" index name
+      prime elapsed;
+    Printf.printf "the losing siblings were eliminated with SIGKILL.\n"
+  | Fork_race.All_failed _ -> print_endline "every alternative failed"
+  | Fork_race.Timed_out _ -> print_endline "alt_wait timeout expired"

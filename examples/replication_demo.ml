@@ -1,0 +1,56 @@
+(* Replication combined with alternatives (paper, section 6).
+
+   "Transparent replication can easily be combined with the use of parallel
+   execution of several alternatives for increases in performance,
+   reliability, or both."
+
+   A sensor-fusion style computation: two alternative estimators race; each
+   runs as a quorum of replicas because individual replicas occasionally
+   return corrupted values. The block commits the fastest estimator whose
+   replicas agree — masking both slow alternatives and wrong answers.
+
+     dune exec examples/replication_demo.exe
+*)
+
+let () =
+  let eng = Engine.create ~trace:false () in
+  let corrupt_stream = Rng.create ~seed:99 in
+  (* A fast heuristic estimator: occasionally returns garbage. *)
+  let heuristic =
+    Alternative.make ~name:"heuristic" (fun rctx ->
+        Engine.delay rctx 0.05;
+        if Rng.bernoulli corrupt_stream ~p:0.35 then 5_000 + Rng.int corrupt_stream 10_000
+        else 37)
+  in
+  (* A slow exact estimator: always right. *)
+  let exact =
+    Alternative.make ~name:"exact" (fun rctx ->
+        Engine.delay rctx 0.40;
+        37)
+  in
+  let result = ref None in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"fusion" (fun ctx ->
+         result :=
+           Some
+             (Concurrent.run ctx
+                [
+                  Replicate.alternative ~replicas:5 heuristic;
+                  Replicate.alternative ~replicas:3 exact;
+                ])));
+  Engine.run eng;
+  match !result with
+  | Some r -> (
+    match r.Concurrent.outcome with
+    | Alt_block.Selected { index; value } ->
+      Printf.printf "committed estimate: %d (alternative %d, %s)\n" value index
+        (if index = 0 then "heuristic quorum" else "exact quorum");
+      Printf.printf "elapsed %.3f simulated s, wasted %.3f s of replica work\n"
+        r.Concurrent.elapsed r.Concurrent.wasted_cpu;
+      if value <> 37 then
+        print_endline "!! a corrupted value slipped through (should not happen)"
+      else
+        print_endline
+          "corrupted replicas were outvoted; a wrong answer was never committed."
+    | Alt_block.Block_failed m -> Printf.printf "block failed: %s\n" m)
+  | None -> print_endline "fusion process never finished"

@@ -1,0 +1,30 @@
+% A small route-planning knowledge base for the altbench CLI:
+%
+%   dune exec bin/altbench.exe -- prolog -f examples/routes.pl -g 'trip(amsterdam, rome, P)'
+%   dune exec bin/altbench.exe -- prolog -p -f examples/routes.pl -g 'strategy(S)'
+
+rail(amsterdam, cologne).
+rail(cologne, frankfurt).
+rail(frankfurt, basel).
+rail(basel, milan).
+rail(milan, rome).
+rail(amsterdam, paris).
+rail(paris, lyon).
+rail(lyon, milan).
+
+flight(amsterdam, rome).
+flight(amsterdam, milan).
+
+trip(A, B, [fly(A, B)]) :- flight(A, B).
+trip(A, B, [train(A, C)|Rest]) :- rail(A, C), trip(C, B, Rest).
+trip(A, B, [train(A, B)]) :- rail(A, B).
+
+burn(0).
+burn(N) :- N > 0, M is N - 1, burn(M).
+
+% Three search strategies with very different costs; the cheap one is last,
+% which is the worst case for sequential clause order and the best case for
+% OR-parallel racing (-p).
+strategy(exhaustive_rail) :- burn(3000), fail.
+strategy(multi_modal)     :- burn(5000), fail.
+strategy(direct_flight)   :- burn(80).

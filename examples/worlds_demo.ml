@@ -1,0 +1,68 @@
+(* Multiple worlds (paper, section 3.4.2).
+
+   A speculative producer — one alternative of a racing pair — sends its
+   intermediate result to a consumer before anyone knows which alternative
+   will win. The consumer cannot wait: it is split into two worlds, one
+   that accepted the message (and inherits the producer's assumptions) and
+   one that assumes the producer fails. When the race resolves, the
+   impossible world is eliminated; the consumer's visible history is
+   exactly as if only the winner had ever run.
+
+     dune exec examples/worlds_demo.exe
+*)
+
+let () =
+  let eng = Engine.create ~trace:true () in
+  let tty = Source.create eng ~name:"tty" in
+
+  (* The consumer sums whatever partial results reach it and reports. *)
+  let consumer =
+    Engine.spawn eng ~name:"consumer" (fun ctx ->
+        let total = ref 0 in
+        for _ = 1 to 2 do
+          let m = Engine.receive ctx () in
+          total := !total + Payload.get_int m.Message.payload
+        done;
+        Source.write ctx tty (Printf.sprintf "consumer total = %d" !total))
+  in
+
+  (* Two mutually exclusive alternatives, each sending a speculative
+     partial result mid-flight. The fast one wins the race. *)
+  let alt name cost partial =
+    Alternative.make ~name (fun ctx ->
+        Engine.send ctx consumer (Payload.int partial);
+        Engine.delay ctx cost;
+        partial)
+  in
+  let report = ref None in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"parent" (fun ctx ->
+         report := Some (Concurrent.run ctx [ alt "slow" 5.0 100; alt "fast" 1.0 7 ])));
+
+  (* An independent certain process also feeds the consumer. *)
+  ignore
+    (Engine.spawn eng ~name:"steady" (fun ctx ->
+         Engine.delay ctx 8.;
+         Engine.send ctx consumer (Payload.int 1)));
+
+  Engine.run eng;
+
+  (match !report with
+  | Some r -> (
+    match r.Concurrent.outcome with
+    | Alt_block.Selected { value; _ } ->
+      Printf.printf "race winner's value: %d\n" value
+    | Alt_block.Block_failed m -> Printf.printf "race failed: %s\n" m)
+  | None -> print_endline "race never finished");
+
+  print_endline "\ntty output (one consistent world):";
+  List.iter (fun (_, _, l) -> Printf.printf "  %s\n" l) (Source.output tty);
+
+  print_endline "\nworld bookkeeping in the trace:";
+  List.iter
+    (fun (t, e) ->
+      match e with
+      | Trace.Split _ | Trace.Killed _ | Trace.Fate _ ->
+        Format.printf "  [%7.3f] %a@." t Trace.pp_event e
+      | _ -> ())
+    (Trace.events (Engine.trace eng))

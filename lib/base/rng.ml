@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 output function. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: OCaml's native int has 63, so a 62-bit value is always
+     non-negative after Int64.to_int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+(* 53 random bits scaled into [0,1). *)
+let unit_float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits *. 0x1p-53
+
+let float t x = unit_float t *. x
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t ~p = unit_float t < p
+
+let exponential t ~mean =
+  let u = unit_float t in
+  (* Avoid log 0. *)
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u
+
+let uniform_in t ~lo ~hi = lo +. unit_float t *. (hi -. lo)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,98 @@
+type t = {
+  engine : Engine.t;
+  pids : Pid.t list;
+  n : int;
+  grants : Pid.t option ref array;  (* per-voter grant record (live voters) *)
+  msg_count : int ref;
+}
+
+let tag_req = "vote_req"
+let tag_rep = "vote_rep"
+
+(* A voter grants its vote to the first requester it hears from and denies
+   everyone else, forever: the grant is the durable half of the 0-1
+   semaphore. Voters are oblivious kernel services (their receives bypass
+   predicate matching): synchronisation is what resolves speculation, so it
+   cannot itself be speculative. *)
+let voter_body ~vote_delay ~grant_slot ~msg_count ctx =
+  let rec loop () =
+    let m = Engine.receive ctx ~tag:tag_req () in
+    incr msg_count;
+    if vote_delay > 0. then Engine.delay ctx vote_delay;
+    let requester = m.Message.sender in
+    let granted =
+      match !grant_slot with
+      | None ->
+        grant_slot := Some requester;
+        true
+      | Some owner -> Pid.equal owner requester
+    in
+    Engine.send ctx ~tag:tag_rep requester (Payload.Bool granted);
+    incr msg_count;
+    loop ()
+  in
+  loop ()
+
+let crashed_voter_body ctx =
+  (* Receives and drops everything: a crashed node is silent. *)
+  let rec loop () =
+    let _m = Engine.receive ctx () in
+    loop ()
+  in
+  loop ()
+
+let create engine ~nodes ?(crashed = []) ?(vote_delay = 0.) () =
+  if nodes < 1 then invalid_arg "Majority.create: nodes must be >= 1";
+  let msg_count = ref 0 in
+  let grants = Array.init nodes (fun _ -> ref None) in
+  let pids =
+    List.init nodes (fun i ->
+        if List.mem i crashed then
+          Engine.spawn engine ~oblivious:true ~cloneable:false
+            ~name:(Printf.sprintf "voter%d(crashed)" i) crashed_voter_body
+        else
+          Engine.spawn engine ~oblivious:true ~cloneable:false
+            ~name:(Printf.sprintf "voter%d" i)
+            (voter_body ~vote_delay ~grant_slot:grants.(i) ~msg_count))
+  in
+  { engine; pids; n = nodes; grants; msg_count }
+
+let node_pids t = t.pids
+let nodes t = t.n
+let majority t = (t.n / 2) + 1
+
+let acquire ctx t ~reply_timeout =
+  List.iter (fun voter -> Engine.send ctx ~tag:tag_req voter Payload.Unit) t.pids;
+  let need = majority t in
+  let rec collect ~grants ~replies =
+    if grants >= need then true
+    else if grants + (t.n - replies) < need then false
+    else
+      match Engine.receive_timeout ctx ~tag:tag_rep ~timeout:reply_timeout () with
+      | None ->
+        (* Remaining voters are presumed crashed; their votes are lost. *)
+        false
+      | Some m ->
+        let g = match m.Message.payload with Payload.Bool b -> b | _ -> false in
+        collect ~grants:(grants + if g then 1 else 0) ~replies:(replies + 1)
+  in
+  collect ~grants:0 ~replies:0
+
+let owner t =
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (fun slot ->
+      match !slot with
+      | None -> ()
+      | Some p ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt tally p) in
+        Hashtbl.replace tally p (c + 1))
+    t.grants;
+  Hashtbl.fold
+    (fun p c acc -> if c >= majority t then Some p else acc)
+    tally None
+
+let shutdown t =
+  List.iter (fun pid -> Engine.kill t.engine pid ~reason:"consensus shutdown") t.pids
+
+let messages_sent t = !(t.msg_count)

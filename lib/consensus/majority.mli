@@ -1,0 +1,50 @@
+(** A fault-tolerant 0-1 semaphore by majority consensus.
+
+    Section 3.2.1: the at-most-once synchronisation of an alternative block
+    must not become a single point of failure, so "the synchronization is
+    set up as a majority consensus decision across several nodes" (after
+    Thomas 1979). Each voter node grants its vote to at most one requester;
+    a requester that collects a strict majority of grants owns the
+    semaphore. Crashed voters never reply; requesters use reply timeouts,
+    so any [f < n/2] crash faults are survived. The price is the extra
+    message rounds — the performance/reliability trade-off the paper calls
+    out, measured by experiment E10. *)
+
+type t
+
+val create :
+  Engine.t ->
+  nodes:int ->
+  ?crashed:int list ->
+  ?vote_delay:float ->
+  unit ->
+  t
+(** Spawn [nodes] voter processes. Voters whose index (0-based) appears in
+    [crashed] are spawned dead: they receive requests and never answer.
+    [vote_delay] (default 0) is per-vote processing time at each live
+    voter. Raises [Invalid_argument] if [nodes < 1]. *)
+
+val node_pids : t -> Pid.t list
+val nodes : t -> int
+val majority : t -> int
+(** Votes needed: [nodes/2 + 1]. *)
+
+val acquire : Engine.ctx -> t -> reply_timeout:float -> bool
+(** Attempt to acquire the semaphore on behalf of the calling process: send
+    a vote request to every voter and collect replies until the outcome is
+    decided (majority of grants, majority unreachable, or per-reply
+    timeout). Returns [true] iff this caller owns the semaphore; at most
+    one caller ever gets [true]. Re-acquiring after owning returns [true]
+    again (votes are idempotent per requester). *)
+
+val owner : t -> Pid.t option
+(** The requester that a majority of voters granted, if decided and
+    observable from the voters' grant records (test helper; the protocol
+    itself only uses messages). *)
+
+val shutdown : t -> unit
+(** Kill the voter processes (end of the alternative block). *)
+
+val messages_sent : t -> int
+(** Total protocol messages (requests + replies) handled by live voters,
+    for the overhead experiment. *)

@@ -1,0 +1,19 @@
+type 'a t = {
+  name : string;
+  guard : Engine.ctx -> bool;
+  body : Engine.ctx -> 'a;
+}
+
+exception Failed of string
+
+let make ?(name = "alt") ?(guard = fun _ -> true) body = { name; guard; body }
+
+let fixed ?(name = "fixed") ~cost v =
+  make ~name (fun ctx ->
+      Engine.delay ctx cost;
+      v)
+
+let failing ?(name = "failing") ~cost () =
+  make ~name (fun ctx ->
+      Engine.delay ctx cost;
+      raise (Failed name))

@@ -1,0 +1,44 @@
+(** One alternative of an alternative block.
+
+    The paper's construct (figure 1):
+    {v
+    ALTBEGIN
+      ENSURE guard1 WITH method1 OR
+      ...
+      ENSURE guardn WITH methodn OR
+      FAIL
+    END
+    v}
+
+    An alternative couples a guard with a method. The guard may be
+    evaluated "before spawning the alternative, in the child process, at
+    the synchronization point, or at any combination of these places, for
+    redundancy"; following the paper we evaluate it in the child, "thus
+    speeding up spawning and synchronization" (section 3.2). *)
+
+type 'a t = {
+  name : string;
+  guard : Engine.ctx -> bool;
+      (** Must hold for the alternative to be eligible. Evaluated in the
+          child process. *)
+  body : Engine.ctx -> 'a;
+      (** The method. May {!Engine.delay}, use {!Mem} sink state, and
+          exchange messages. It must not write sink state after its
+          synchronisation succeeds (i.e. after [body] returns). To signal
+          failure from within, call {!Engine.abort} or raise {!Failed}. *)
+}
+
+exception Failed of string
+(** Raised by a body to indicate that this alternative cannot produce an
+    acceptable result. *)
+
+val make : ?name:string -> ?guard:(Engine.ctx -> bool) -> (Engine.ctx -> 'a) -> 'a t
+(** Default guard always holds; default name is ["alt"]. *)
+
+val fixed : ?name:string -> cost:float -> 'a -> 'a t
+(** An alternative that consumes exactly [cost] seconds of CPU and returns
+    the value: the synthetic computation used throughout the performance
+    experiments. *)
+
+val failing : ?name:string -> cost:float -> unit -> 'a t
+(** Consumes [cost] seconds, then fails. *)

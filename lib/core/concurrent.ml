@@ -1,0 +1,382 @@
+type elimination = Sync_elim | Async_elim | No_elim
+
+type sync_mode =
+  | Local
+  | Consensus of {
+      nodes : int;
+      crashed : int list;
+      vote_delay : float;
+      reply_timeout : float;
+    }
+
+type guard_placement =
+  | Guard_in_child
+  | Guard_before_spawn
+  | Guard_at_sync
+  | Guard_redundant
+
+type placement = Local_spawn | Remote_spawn | Remote_on_demand
+
+type policy = {
+  elimination : elimination;
+  sync : sync_mode;
+  timeout : float;
+  guards : guard_placement;
+  placement : placement;
+}
+
+let default_policy =
+  {
+    elimination = Sync_elim;
+    sync = Local;
+    timeout = 1e12;
+    guards = Guard_in_child;
+    placement = Local_spawn;
+  }
+
+type 'a report = {
+  outcome : 'a Alt_block.outcome;
+  winner : Pid.t option;
+  children : Pid.t list;
+  elapsed : float;
+  setup_cost : float;
+  spawned : int;
+  selection_cost : float;
+  wasted_cpu : float;
+  child_cow_copies : int;
+  sync_messages : int;
+}
+
+type 'a latch_value =
+  | Win of { index : int; pid : Pid.t; value : 'a }
+  | All_failed_l
+
+(* Build the child predicates: each alternative inherits the parent's
+   assumptions, assumes it completes, and assumes its siblings do not
+   (section 3.3: "sibling rivalry taken to its extreme"). *)
+let child_predicate parent_pred pids i =
+  let p = Predicate.assume_completes parent_pred pids.(i) in
+  let n = Array.length pids in
+  let rec add p j =
+    if j >= n then p
+    else if j = i then add p (j + 1)
+    else add (Predicate.assume_fails p pids.(j)) (j + 1)
+  in
+  add p 0
+
+let run ctx ?(policy = default_policy) alts =
+  let eng = Engine.engine ctx in
+  let model = Engine.model eng in
+  let n = List.length alts in
+  if n = 0 then invalid_arg "Concurrent.run: empty block";
+  let t0 = Engine.now_v ctx in
+  let parent_pid = Engine.self ctx in
+  let parent_pred = Engine.my_predicate ctx in
+  let parent_space = Engine.space ctx in
+  let alt_arr = Array.of_list alts in
+  let guard_before =
+    match policy.guards with
+    | Guard_before_spawn | Guard_redundant -> true
+    | Guard_in_child | Guard_at_sync -> false
+  in
+  let guard_in_child =
+    match policy.guards with
+    | Guard_in_child | Guard_redundant -> true
+    | Guard_before_spawn | Guard_at_sync -> false
+  in
+  let guard_at_sync =
+    match policy.guards with
+    | Guard_at_sync | Guard_redundant -> true
+    | Guard_in_child | Guard_before_spawn -> false
+  in
+  (* Pre-spawn guard evaluation happens serially in the parent; closed
+     alternatives are never spawned. *)
+  let open_ =
+    Array.map
+      (fun alt -> (not guard_before) || alt.Alternative.guard ctx)
+      alt_arr
+  in
+  let spawned_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 open_ in
+  if spawned_count = 0 then
+    {
+      outcome = Alt_block.Block_failed "no open alternative";
+      winner = None;
+      children = [];
+      elapsed = Engine.now_v ctx -. t0;
+      setup_cost = 0.;
+      spawned = 0;
+      selection_cost = 0.;
+      wasted_cpu = 0.;
+      child_cow_copies = 0;
+      sync_messages = 0;
+    }
+  else begin
+    let pids = Array.of_list (Engine.fresh_pids eng n) in
+    let consensus =
+      match policy.sync with
+      | Local -> None
+      | Consensus { nodes; crashed; vote_delay; _ } ->
+        Some (Majority.create eng ~nodes ~crashed ~vote_delay ())
+    in
+    (* Setup: one execution environment per open alternative. Local
+       placement duplicates the page map copy-on-write; remote placement
+       checkpoints the whole image and ships it (Smith & Ioannidis 1989),
+       yielding private pages on the remote node. Both are performed by
+       the (blocked) parent, so the cost is charged serially before the
+       race begins. *)
+    let checkpoint =
+      match (policy.placement, parent_space) with
+      | Remote_spawn, Some sp -> Some (Checkpoint.capture sp)
+      | (Local_spawn | Remote_spawn | Remote_on_demand), _ -> None
+    in
+    (* On-demand children share the parent's frames but every
+       copy-on-write fault also fetches the page over the network. *)
+    let on_demand_model =
+      {
+        model with
+        Cost_model.page_copy =
+          model.Cost_model.page_copy +. model.Cost_model.remote_per_page;
+      }
+    in
+    let setup_cost = ref 0. in
+    let spaces =
+      Array.init n (fun i ->
+          if not open_.(i) then None
+          else
+            match (policy.placement, parent_space) with
+            | Local_spawn, Some sp ->
+              let child = Address_space.fork sp in
+              setup_cost := !setup_cost +. Address_space.drain_cost child;
+              Some child
+            | Local_spawn, None ->
+              setup_cost := !setup_cost +. model.Cost_model.fork_base;
+              None
+            | Remote_spawn, Some _ ->
+              let image = Option.get checkpoint in
+              let child =
+                Checkpoint.restore (Engine.frame_store eng) model image
+              in
+              setup_cost := !setup_cost +. Checkpoint.transfer_cost model image;
+              Some child
+            | Remote_spawn, None ->
+              setup_cost :=
+                !setup_cost +. model.Cost_model.remote_spawn_base;
+              None
+            | Remote_on_demand, Some sp ->
+              (* No image travels at spawn: just the process state and one
+                 control round trip. *)
+              let child = Address_space.fork ~model:on_demand_model sp in
+              ignore (Address_space.drain_cost child);
+              setup_cost :=
+                !setup_cost +. model.Cost_model.fork_base
+                +. model.Cost_model.msg_latency;
+              Some child
+            | Remote_on_demand, None ->
+              setup_cost :=
+                !setup_cost +. model.Cost_model.fork_base
+                +. model.Cost_model.msg_latency;
+              None)
+    in
+    if !setup_cost > 0. then Engine.delay ctx !setup_cost;
+    let latch : 'a latch_value Engine.Ivar.t = Engine.Ivar.create () in
+    let remaining = ref spawned_count in
+    let tr e = Trace.record (Engine.trace eng) ~time:(Engine.now eng) e in
+    let remote =
+      match policy.placement with
+      | Remote_spawn | Remote_on_demand -> true
+      | Local_spawn -> false
+    in
+    Array.iteri
+      (fun i alt ->
+        if open_.(i) then begin
+          let body child_ctx =
+            if guard_in_child && not (alt.Alternative.guard child_ctx) then
+              Engine.abort child_ctx "guard failed";
+            let value =
+              try alt.Alternative.body child_ctx
+              with Alternative.Failed r -> Engine.abort child_ctx ("failed: " ^ r)
+            in
+            Engine.charge_memory child_ctx;
+            if guard_at_sync && not (alt.Alternative.guard child_ctx) then
+              Engine.abort child_ctx "guard failed at sync";
+            (* A remote child's synchronisation attempt crosses the
+               network. *)
+            if remote then Engine.delay child_ctx model.Cost_model.msg_latency;
+            let me = Engine.self child_ctx in
+            let won =
+              match consensus with
+              | None ->
+                Engine.Ivar.try_fill latch (Win { index = i; pid = me; value })
+              | Some maj ->
+                let reply_timeout =
+                  match policy.sync with
+                  | Consensus { reply_timeout; _ } -> reply_timeout
+                  | Local -> assert false
+                in
+                if Majority.acquire child_ctx maj ~reply_timeout then begin
+                  ignore
+                    (Engine.Ivar.try_fill latch (Win { index = i; pid = me; value }));
+                  true
+                end
+                else false
+            in
+            if won then tr (Trace.Sync_won { pid = me; index = i })
+            else begin
+              tr (Trace.Sync_late { pid = me; index = i });
+              Engine.abort child_ctx "too late"
+            end
+          in
+          let pid =
+            Engine.spawn eng ~pid:pids.(i) ~parent:parent_pid
+              ~predicate:(child_predicate parent_pred pids i)
+              ?space:spaces.(i) ~cloneable:false
+              ~name:(Printf.sprintf "%s[%d]" alt.Alternative.name i)
+              body
+          in
+          Engine.on_exit eng pid (fun st ->
+              decr remaining;
+              match st with
+              | Engine.Exited_ok -> ()
+              | Engine.Exited_failed _ | Engine.Crashed _ | Engine.Eliminated _ ->
+                if !remaining = 0 && not (Engine.Ivar.is_filled latch) then
+                  ignore (Engine.Ivar.try_fill latch All_failed_l))
+        end)
+      alt_arr;
+    (* alt_wait: rendezvous with the first successful child. *)
+    let decision =
+      match Engine.Ivar.read_timeout ctx latch ~timeout:policy.timeout with
+      | Some v -> Some v
+      | None -> Engine.Ivar.peek latch (* a fill racing the deadline wins *)
+    in
+    let selection_cost = ref 0. in
+    let per_kill =
+      model.Cost_model.kill_per_sibling
+      +. if remote then model.Cost_model.msg_latency else 0.
+    in
+    let eliminate ~except ~reason =
+      let victims =
+        Array.to_list pids
+        |> List.filteri (fun i _ -> open_.(i))
+        |> List.filter (fun pid -> not (Option.equal Pid.equal (Some pid) except))
+      in
+      match policy.elimination with
+      | Sync_elim ->
+        let issue = float_of_int (List.length victims) *. per_kill in
+        if issue > 0. then begin
+          Engine.delay ctx issue;
+          selection_cost := !selection_cost +. issue
+        end;
+        List.iter (fun pid -> Engine.kill eng pid ~reason) victims
+      | Async_elim ->
+        List.iter
+          (fun pid ->
+            Engine.after eng ~delay:model.Cost_model.msg_latency (fun () ->
+                Engine.kill eng pid ~reason))
+          victims
+      | No_elim -> ()
+    in
+    let outcome, winner =
+      match decision with
+      | Some (Win { index; pid; value }) ->
+        (* Rendezvous first, before the parent can suspend: the winner is
+           still alive (it fills the latch before exiting), so its page map
+           is absorbed atomically here and its own exit releases nothing. *)
+        if Engine.alive eng pid then Engine.preserve_space eng pid;
+        (match (parent_space, spaces.(index)) with
+        | Some psp, Some csp ->
+          (* A remote winner's state must first be shipped back. The
+             checkpoint/restart scheme has no dirty-page tracking, so the
+             whole image travels; the on-demand scheme ships only the pages
+             the winner privatised. *)
+          (match policy.placement with
+          | Remote_spawn ->
+            let back = Checkpoint.transfer_cost model (Checkpoint.capture csp) in
+            selection_cost := !selection_cost +. back;
+            Engine.delay ctx back
+          | Remote_on_demand ->
+            let dirty = Address_space.private_pages csp in
+            let back =
+              model.Cost_model.msg_latency
+              +. (float_of_int dirty *. model.Cost_model.remote_per_page)
+            in
+            selection_cost := !selection_cost +. back;
+            Engine.delay ctx back
+          | Local_spawn -> ());
+          Address_space.absorb ~parent:psp ~child:csp;
+          tr (Trace.Absorbed { parent = parent_pid; child = pid });
+          let c = Address_space.drain_cost psp in
+          selection_cost := !selection_cost +. c;
+          if c > 0. then Engine.delay ctx c
+        | _ -> ());
+        eliminate ~except:(Some pid) ~reason:"sibling elimination";
+        (Alt_block.Selected { index; value }, Some pid)
+      | Some All_failed_l -> (Alt_block.Block_failed "no alternative succeeded", None)
+      | None ->
+        eliminate ~except:None ~reason:"alt_wait timeout";
+        (Alt_block.Block_failed "timeout", None)
+    in
+    Option.iter Majority.shutdown consensus;
+    (* Release loser address spaces that were never started or whose owner
+       is already gone (live losers release at their own elimination). *)
+    Array.iteri
+      (fun i sp ->
+        match sp with
+        | Some sp
+          when (not (Engine.alive eng pids.(i)))
+               && not (Page_map.released (Address_space.map sp)) ->
+          Address_space.release sp
+        | _ -> ())
+      spaces;
+    let wasted_cpu =
+      Array.fold_left
+        (fun acc pid ->
+          if Option.equal Pid.equal (Some pid) winner then acc
+          else acc +. Engine.cpu_time_of eng pid)
+        0. pids
+    in
+    let child_cow_copies =
+      Array.fold_left
+        (fun acc sp ->
+          match sp with Some sp -> acc + Address_space.cow_copies sp | None -> acc)
+        0 spaces
+    in
+    {
+      outcome;
+      winner;
+      children =
+        Array.to_list pids |> List.filteri (fun i _ -> open_.(i));
+      elapsed = Engine.now_v ctx -. t0;
+      setup_cost = !setup_cost;
+      spawned = spawned_count;
+      selection_cost = !selection_cost;
+      wasted_cpu;
+      child_cow_copies;
+      sync_messages =
+        (match consensus with Some m -> Majority.messages_sent m | None -> 0);
+    }
+  end
+
+let run_toplevel eng ?policy ?space alts =
+  let result = ref None in
+  let pid =
+    Engine.spawn eng ?space ~cloneable:false ~name:"alt-parent" (fun ctx ->
+        result := Some (run ctx ?policy alts))
+  in
+  (* The caller owns the space it passed in and may inspect the absorbed
+     state after the run. *)
+  if Option.is_some space then Engine.preserve_space eng pid;
+  Engine.run eng;
+  match !result with
+  | Some r ->
+    (* The in-process report counts waste up to the parent's resumption;
+       with asynchronous elimination the zombies keep burning CPU after
+       that, so recount now that the simulation is quiescent. *)
+    let wasted_cpu =
+      List.fold_left
+        (fun acc c ->
+          if Option.equal Pid.equal (Some c) r.winner then acc
+          else acc +. Engine.cpu_time_of eng c)
+        0. r.children
+    in
+    { r with wasted_cpu }
+  | None -> failwith "Concurrent.run_toplevel: block did not complete"

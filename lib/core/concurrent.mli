@@ -1,0 +1,131 @@
+(** Transparent concurrent execution of an alternative block (section 3).
+
+    The semantics-preserving transformation: spawn every alternative as a
+    copy-on-write child of the calling process, let them race, select the
+    {e fastest successful} one through an at-most-once synchronisation, have
+    the parent absorb the winner's page map at rendezvous, and eliminate
+    the losing siblings. To any observer the result is one nondeterministic
+    sequential selection ({!Alt_block}); the execution time approaches
+    [tau(C_best) + tau(overhead)]. *)
+
+(** How losing siblings are eliminated (section 3.2.1). *)
+type elimination =
+  | Sync_elim
+      (** The parent issues and completes the eliminations before resuming:
+          cheaper bookkeeping, but the kill instructions are charged to the
+          parent's execution time. *)
+  | Async_elim
+      (** Elimination is scheduled in the background (one scheduler
+          notification latency per sibling) and the parent resumes at once:
+          better execution time, worse throughput while zombies linger. *)
+  | No_elim
+      (** No elimination instructions are issued at all — modelling
+          "communications problems or system failures" that lose every
+          kill message (section 3.2.1). Correctness must then rest entirely
+          on the backup: losers run to completion, attempt to synchronise,
+          are told "too late", and terminate themselves. Maximum wasted
+          work, unchanged at-most-once semantics. *)
+
+(** How the at-most-once winner decision is made. *)
+type sync_mode =
+  | Local  (** A single latch: fast, but a single point of failure. *)
+  | Consensus of {
+      nodes : int;  (** Voter processes; majority = nodes/2 + 1. *)
+      crashed : int list;  (** Indices of voters that never answer. *)
+      vote_delay : float;  (** Per-vote processing time at a voter. *)
+      reply_timeout : float;  (** Requester's per-reply patience. *)
+    }
+      (** A majority-consensus 0-1 semaphore: survives a minority of node
+          failures at the cost of extra message rounds. *)
+
+(** Where guards are evaluated. "Note that the GUARD can be executed
+    before spawning the alternative, in the child process, at the
+    synchronization point, or at any combination of these places, for
+    redundancy. We currently expect the child process to execute it, thus
+    speeding up spawning and synchronization" (section 3.2). *)
+type guard_placement =
+  | Guard_in_child  (** The paper's choice and the default. *)
+  | Guard_before_spawn
+      (** The parent evaluates each guard and does not spawn closed
+          alternatives at all: cheaper when guards are selective, but the
+          evaluation is serial in the parent. *)
+  | Guard_at_sync
+      (** The child runs its body first and checks the guard only at the
+          synchronisation point. *)
+  | Guard_redundant
+      (** All three places — the fault-suspicious configuration. *)
+
+(** Where the alternatives execute. *)
+type placement =
+  | Local_spawn  (** Copy-on-write children on the parent's node. *)
+  | Remote_spawn
+      (** Children on remote nodes, created by checkpoint/restart in the
+          manner of Smith and Ioannidis's rfork(): the whole image is
+          shipped (no on-demand paging), results and eliminations cross
+          the network. *)
+  | Remote_on_demand
+      (** Children on remote nodes with on-demand state management in the
+          manner of Theimer et al. (which the paper cites as the "more
+          sophisticated" scheme): spawning ships no image — each
+          copy-on-write fault instead pays a network fetch on top of the
+          copy, and only the pages the winner actually dirtied are shipped
+          back at rendezvous. *)
+
+type policy = {
+  elimination : elimination;
+  sync : sync_mode;
+  timeout : float;
+      (** The [alt_wait] TIMEOUT: "if TIMEOUT time units have elapsed, it
+          is highly probable that none of the alternatives have
+          succeeded". *)
+  guards : guard_placement;
+  placement : placement;
+}
+
+val default_policy : policy
+(** Synchronous elimination, local latch, guard in the child, local
+    copy-on-write spawning, effectively-infinite timeout. *)
+
+(** Everything a caller (or an experiment) wants to know about one block
+    execution. *)
+type 'a report = {
+  outcome : 'a Alt_block.outcome;
+  winner : Pid.t option;
+  children : Pid.t list;
+  elapsed : float;  (** Virtual time from block entry to parent resumption. *)
+  setup_cost : float;
+      (** Creating the execution environments (page-map forks, or
+          checkpoint shipping under [Remote_spawn]), charged to the parent
+          before the race. *)
+  spawned : int;
+      (** Alternatives actually spawned ([Guard_before_spawn] may skip
+          closed ones). *)
+  selection_cost : float;
+      (** Elimination instructions (sync mode) plus page-map absorption. *)
+  wasted_cpu : float;
+      (** Virtual CPU consumed by alternatives other than the winner: the
+          throughput price of speculation. *)
+  child_cow_copies : int;
+      (** Copy-on-write faults serviced for the children: state that had to
+          be privatised because alternatives updated shared pages. *)
+  sync_messages : int;  (** Consensus protocol messages (0 for [Local]). *)
+}
+
+val run : Engine.ctx -> ?policy:policy -> 'a Alternative.t list -> 'a report
+(** Execute the block from inside a process. The calling process blocks (as
+    the paper's parent does in [alt_wait]) until a winner commits, all
+    alternatives fail, or the timeout expires; its address space, if any,
+    ends up identical to a sequential execution of the winner alone. *)
+
+val run_toplevel :
+  Engine.t ->
+  ?policy:policy ->
+  ?space:Address_space.t ->
+  'a Alternative.t list ->
+  'a report
+(** Convenience for tests and benchmarks: spawn a fresh root process,
+    execute the block in it, run the engine to quiescence, and return the
+    report. A [space] passed in remains owned by the caller (it is not
+    released at process exit, so the absorbed state can be inspected), and
+    [wasted_cpu] is recounted at quiescence so that zombies eliminated
+    asynchronously are fully accounted. *)

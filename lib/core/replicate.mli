@@ -1,0 +1,46 @@
+(** Transparent replication of alternatives (paper, section 6).
+
+    "Transparent replication can easily be combined with the use of
+    parallel execution of several alternatives for increases in
+    performance, reliability, or both." Replication masks faults that
+    {e produce wrong answers} (a recovery block's acceptance test may not
+    catch a plausible-looking wrong value); racing masks faults that
+    {e lose time}. This module supplies the replication half: an
+    alternative is executed as [replicas] independent copies, and its
+    result is whatever value a strict majority of the copies agree on —
+    decided as soon as the quorum exists, so replication costs the
+    median replica's time, not the slowest's.
+
+    Composition: wrap each alternative of a block with {!alternative} and
+    race the wrapped block with {!Concurrent.run} — replication within,
+    fastest-first across. *)
+
+val alternative :
+  ?equal:('a -> 'a -> bool) ->
+  replicas:int ->
+  'a Alternative.t ->
+  'a Alternative.t
+(** [alternative ~replicas alt] is an alternative with the same guard whose
+    body runs [replicas] copies of [alt]'s body as copy-on-write children
+    of the calling process and returns the majority value. It fails
+    (raises {!Alternative.Failed}) if no value reaches a strict majority —
+    including when too many replicas crash. [equal] (default structural
+    equality) compares replica results. [replicas] must be at least 1; one
+    replica degenerates to [alt] plus spawn overhead. *)
+
+type 'a quorum_result = {
+  value : 'a option;  (** The majority value, if any. *)
+  agreeing : int;  (** Size of the largest agreeing group. *)
+  answered : int;  (** Replicas that produced any answer. *)
+  crashed : int;  (** Replicas that failed outright. *)
+}
+
+val run_quorum :
+  ?equal:('a -> 'a -> bool) ->
+  Engine.ctx ->
+  replicas:int ->
+  (Engine.ctx -> 'a) ->
+  'a quorum_result
+(** The underlying mechanism, exposed for tests and experiments: run
+    [replicas] copies of the body, resolve as soon as a strict majority
+    agrees (or can no longer be reached), and report the tally. *)

@@ -1,0 +1,21 @@
+type t = {
+  sender : Pid.t;
+  dest : Pid.t;
+  predicate : Predicate.t;
+  payload : Payload.t;
+  tag : string;
+  seq : int;
+}
+
+let make ~sender ~dest ~predicate ?(tag = "") ~seq payload =
+  { sender; dest; predicate; payload; tag; seq }
+
+let header_bytes = 32
+
+let size_bytes t = header_bytes + Payload.size_bytes t.payload
+
+let pp ppf t =
+  Format.fprintf ppf "%a->%a #%d %s%s%a %a" Pid.pp t.sender Pid.pp t.dest t.seq
+    t.tag
+    (if t.tag = "" then "" else " ")
+    Predicate.pp t.predicate Payload.pp t.payload

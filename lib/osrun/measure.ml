@@ -1,0 +1,54 @@
+(* Avoid a C stub dependency: 4096 is the page size on every platform we
+   run on; allow an override for exotic hosts. *)
+let page_size () =
+  match Sys.getenv_opt "ALTEXEC_PAGE_SIZE" with
+  | Some s -> int_of_string s
+  | None -> 4096
+
+let touch_all b =
+  let ps = page_size () in
+  let len = Bytes.length b in
+  let i = ref 0 in
+  while !i < len do
+    Bytes.unsafe_set b !i 'x';
+    i := !i + ps
+  done
+
+let time_fork_over ~image ~child_work iters =
+  if iters <= 0 then invalid_arg "Measure: iters must be positive";
+  touch_all image;
+  let samples =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        match Unix.fork () with
+        | 0 ->
+          child_work image;
+          Unix._exit 0
+        | pid ->
+          ignore (Unix.waitpid [] pid);
+          Unix.gettimeofday () -. t0)
+  in
+  Stats.summarize samples
+
+let fork_latency ?(image_bytes = 320 * 1024) ~iters () =
+  let image = Bytes.create image_bytes in
+  time_fork_over ~image ~child_work:(fun _ -> ()) iters
+
+let cow_touch_time ~pages ~fraction ~iters () =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Measure.cow_touch_time: fraction out of range";
+  let ps = page_size () in
+  let image = Bytes.create (pages * ps) in
+  let to_touch = int_of_float (Float.round (fraction *. float_of_int pages)) in
+  let child_work image =
+    for p = 0 to to_touch - 1 do
+      Bytes.unsafe_set image (p * ps) 'y'
+    done
+  in
+  time_fork_over ~image ~child_work iters
+
+let page_copy_rate ?(pages = 2048) ~iters () =
+  let base = (cow_touch_time ~pages ~fraction:0. ~iters ()).Stats.median in
+  let full = (cow_touch_time ~pages ~fraction:1. ~iters ()).Stats.median in
+  let per_page = Float.max 1e-12 ((full -. base) /. float_of_int pages) in
+  1. /. per_page

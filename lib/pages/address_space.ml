@@ -1,0 +1,122 @@
+type t = {
+  map_ : Page_map.t;
+  model_ : Cost_model.t;
+  mutable pending : float;
+}
+
+let model t = t.model_
+let map t = t.map_
+
+let page_size t = t.model_.Cost_model.page_size
+
+let add_cost t c = t.pending <- t.pending +. c
+let pending_cost t = t.pending
+
+let drain_cost t =
+  let c = t.pending in
+  t.pending <- 0.;
+  c
+
+let check_addr ~addr ~len =
+  if addr < 0 || len < 0 then invalid_arg "Address_space: negative address"
+
+(* Apply [f page off chunk_len data_off] to each page-aligned chunk of the
+   range [addr, addr+len). *)
+let iter_chunks t ~addr ~len f =
+  check_addr ~addr ~len;
+  let ps = page_size t in
+  let pos = ref addr in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let vpage = !pos / ps in
+    let off = !pos mod ps in
+    let chunk = min !remaining (ps - off) in
+    f ~vpage ~off ~chunk ~data_off:(!pos - addr);
+    pos := !pos + chunk;
+    remaining := !remaining - chunk
+  done
+
+let read_bytes t ~addr ~len =
+  let out = Bytes.create len in
+  iter_chunks t ~addr ~len (fun ~vpage ~off ~chunk ~data_off ->
+      let b = Page_map.read t.map_ ~vpage ~off ~len:chunk in
+      Bytes.blit b 0 out data_off chunk);
+  out
+
+let write_bytes t ~addr src =
+  let len = Bytes.length src in
+  iter_chunks t ~addr ~len (fun ~vpage ~off ~chunk ~data_off ->
+      let copied = ref false in
+      Page_map.write t.map_ ~vpage ~off
+        ~src:(Bytes.sub src data_off chunk)
+        ~copied;
+      if !copied then add_cost t (Cost_model.copy_cost t.model_ ~pages:1))
+
+let create ?(size_hint = 0) store model =
+  if Frame_store.page_size store <> model.Cost_model.page_size then
+    invalid_arg "Address_space.create: store/model page size mismatch";
+  let t = { map_ = Page_map.create store; model_ = model; pending = 0. } in
+  if size_hint > 0 then begin
+    (* Materialise the image pages, then discard the setup cost: the hinted
+       image exists before the measured operations begin. *)
+    let ps = model.Cost_model.page_size in
+    let zero = Bytes.make 1 '\000' in
+    for vpage = 0 to Cost_model.pages_for model ~bytes:size_hint - 1 do
+      let copied = ref false in
+      Page_map.write t.map_ ~vpage ~off:(ps - 1) ~src:zero ~copied
+    done;
+    ignore (drain_cost t)
+  end;
+  t
+
+let fork ?model parent =
+  let model = Option.value ~default:parent.model_ model in
+  if model.Cost_model.page_size <> parent.model_.Cost_model.page_size then
+    invalid_arg "Address_space.fork: model page size mismatch";
+  let child_map = Page_map.fork parent.map_ in
+  let child = { map_ = child_map; model_ = model; pending = 0. } in
+  add_cost child
+    (Cost_model.fork_cost model ~mapped_pages:(Page_map.mapped_pages parent.map_));
+  child
+
+let absorb ~parent ~child =
+  Page_map.absorb ~parent:parent.map_ ~child:child.map_;
+  add_cost parent parent.model_.Cost_model.absorb_base;
+  (* Unflushed child cost belongs to the surviving timeline. *)
+  add_cost parent child.pending;
+  child.pending <- 0.
+
+let release t = Page_map.release t.map_
+
+let get_u8 t ~addr = Char.code (Bytes.get (read_bytes t ~addr ~len:1) 0)
+
+let set_u8 t ~addr v =
+  if v < 0 || v > 0xff then invalid_arg "Address_space.set_u8";
+  write_bytes t ~addr (Bytes.make 1 (Char.chr v))
+
+let get_i64 t ~addr = Bytes.get_int64_le (read_bytes t ~addr ~len:8) 0
+
+let set_i64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_bytes t ~addr b
+
+let get_int t ~addr = Int64.to_int (get_i64 t ~addr)
+let set_int t ~addr v = set_i64 t ~addr (Int64.of_int v)
+let get_float t ~addr = Int64.float_of_bits (get_i64 t ~addr)
+let set_float t ~addr v = set_i64 t ~addr (Int64.bits_of_float v)
+
+let get_string t ~addr ~len = Bytes.to_string (read_bytes t ~addr ~len)
+let set_string t ~addr s = write_bytes t ~addr (Bytes.of_string s)
+
+let touch t ~addr ~len =
+  iter_chunks t ~addr ~len (fun ~vpage ~off ~chunk:_ ~data_off:_ ->
+      let b = Page_map.read t.map_ ~vpage ~off ~len:1 in
+      let copied = ref false in
+      Page_map.write t.map_ ~vpage ~off ~src:b ~copied;
+      if !copied then add_cost t (Cost_model.copy_cost t.model_ ~pages:1))
+
+let cow_copies t = Page_map.cow_copies t.map_
+let mapped_pages t = Page_map.mapped_pages t.map_
+let private_pages t = Page_map.private_pages t.map_
+let shared_pages t = Page_map.shared_pages t.map_

@@ -1,0 +1,73 @@
+type image = { psize : int; pages : (int * bytes) list (* vpage, contents *) }
+
+let capture space =
+  let map = Address_space.map space in
+  let psize = Page_map.page_size map in
+  let pages =
+    List.map
+      (fun vpage -> (vpage, Page_map.read map ~vpage ~off:0 ~len:psize))
+      (Page_map.mapped_vpages map)
+  in
+  { psize; pages }
+
+let restore store model image =
+  if Frame_store.page_size store <> image.psize then
+    invalid_arg "Checkpoint.restore: page size mismatch";
+  if model.Cost_model.page_size <> image.psize then
+    invalid_arg "Checkpoint.restore: model page size mismatch";
+  let space = Address_space.create store model in
+  List.iter
+    (fun (vpage, contents) ->
+      let copied = ref false in
+      Page_map.write (Address_space.map space) ~vpage ~off:0 ~src:contents ~copied)
+    image.pages;
+  ignore (Address_space.drain_cost space);
+  space
+
+let page_size image = image.psize
+let mapped_pages image = List.length image.pages
+
+let header_bytes = 16
+let per_page_header = 8
+
+let size_bytes image =
+  header_bytes + List.length image.pages * (per_page_header + image.psize)
+
+let to_bytes image =
+  let buf = Buffer.create (size_bytes image) in
+  let add_int n =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int n);
+    Buffer.add_bytes buf b
+  in
+  add_int image.psize;
+  add_int (List.length image.pages);
+  List.iter
+    (fun (vpage, contents) ->
+      add_int vpage;
+      Buffer.add_bytes buf contents)
+    image.pages;
+  Buffer.to_bytes buf
+
+let of_bytes b =
+  let fail () = invalid_arg "Checkpoint.of_bytes: malformed image" in
+  let len = Bytes.length b in
+  if len < header_bytes then fail ();
+  let int_at off = Int64.to_int (Bytes.get_int64_le b off) in
+  let psize = int_at 0 in
+  let count = int_at 8 in
+  if psize <= 0 || count < 0 then fail ();
+  let expected = header_bytes + (count * (per_page_header + psize)) in
+  if len <> expected then fail ();
+  let pages = ref [] in
+  let off = ref header_bytes in
+  for _ = 1 to count do
+    let vpage = int_at !off in
+    let contents = Bytes.sub b (!off + per_page_header) psize in
+    pages := (vpage, contents) :: !pages;
+    off := !off + per_page_header + psize
+  done;
+  { psize; pages = List.rev !pages }
+
+let transfer_cost model image =
+  Cost_model.remote_spawn_cost model ~mapped_pages:(mapped_pages image)

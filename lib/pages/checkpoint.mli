@@ -1,0 +1,38 @@
+(** Checkpoint/restart of address spaces.
+
+    Smith and Ioannidis (1989) implemented [rfork()] "by dumping the state
+    of the process into a file in such a way that the file is executable; a
+    bootstrapping routine restores the registers and data segments". This
+    module is that mechanism for the simulated store: an {!image} is a
+    self-contained byte snapshot of an address space, which can be restored
+    into a fresh space — in the same simulation or conceptually shipped to
+    a remote node. Remote spawning of alternatives is built on it. *)
+
+type image
+(** A serialised address space: page size plus the (sparse) list of mapped
+    pages and their contents. *)
+
+val capture : Address_space.t -> image
+(** Snapshot the space's current contents. O(mapped pages); does not
+    disturb sharing (reads only). *)
+
+val restore : Frame_store.t -> Cost_model.t -> image -> Address_space.t
+(** Materialise the image as a fresh private address space in the given
+    store. Raises [Invalid_argument] if the page sizes disagree. *)
+
+val page_size : image -> int
+val mapped_pages : image -> int
+
+val size_bytes : image -> int
+(** Wire size of the checkpoint: what a remote fork must ship. *)
+
+val to_bytes : image -> bytes
+(** Serialise to a flat byte string (the "executable file" of the paper's
+    implementation). *)
+
+val of_bytes : bytes -> image
+(** Inverse of {!to_bytes}. Raises [Invalid_argument] on malformed data. *)
+
+val transfer_cost : Cost_model.t -> image -> float
+(** {!Cost_model.remote_spawn_cost} of shipping this image: the checkpoint
+    base cost plus per-page transfer. *)

@@ -1,0 +1,61 @@
+type frame = { fid : int; buf : bytes; mutable refs : int }
+
+type t = {
+  page_size : int;
+  mutable next_id : int;
+  mutable live : int;
+  mutable allocs : int;
+  mutable copies : int;
+  mutable free : frame list;  (* recycled zeroed frames *)
+}
+
+let create ~page_size =
+  if page_size <= 0 then invalid_arg "Frame_store.create: page_size";
+  { page_size; next_id = 0; live = 0; allocs = 0; copies = 0; free = [] }
+
+let page_size t = t.page_size
+
+let fresh t =
+  match t.free with
+  | f :: rest ->
+    t.free <- rest;
+    Bytes.fill f.buf 0 t.page_size '\000';
+    f.refs <- 1;
+    f
+  | [] ->
+    let f = { fid = t.next_id; buf = Bytes.make t.page_size '\000'; refs = 1 } in
+    t.next_id <- t.next_id + 1;
+    f
+
+let alloc t =
+  let f = fresh t in
+  t.live <- t.live + 1;
+  t.allocs <- t.allocs + 1;
+  f
+
+let alloc_copy t src =
+  let f = fresh t in
+  Bytes.blit src.buf 0 f.buf 0 t.page_size;
+  t.live <- t.live + 1;
+  t.allocs <- t.allocs + 1;
+  t.copies <- t.copies + 1;
+  f
+
+let incref f =
+  assert (f.refs > 0);
+  f.refs <- f.refs + 1
+
+let decref t f =
+  assert (f.refs > 0);
+  f.refs <- f.refs - 1;
+  if f.refs = 0 then begin
+    t.live <- t.live - 1;
+    t.free <- f :: t.free
+  end
+
+let refcount f = f.refs
+let data f = f.buf
+let id f = f.fid
+let live_frames t = t.live
+let total_allocations t = t.allocs
+let cow_copies t = t.copies

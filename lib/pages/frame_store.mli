@@ -1,0 +1,52 @@
+(** Reference-counted physical page frames.
+
+    The paper manages all sink state as fixed-size pages ("we bury the
+    entire memory hierarchy under the page abstraction", section 3.1). A
+    {!t} is the pool of physical frames shared by every address space in one
+    simulation; copy-on-write sharing is expressed through frame reference
+    counts. *)
+
+type frame
+(** One physical page frame: a byte buffer plus a reference count. *)
+
+type t
+(** A frame pool. *)
+
+val create : page_size:int -> t
+(** [create ~page_size] makes an empty pool of frames of [page_size] bytes. *)
+
+val page_size : t -> int
+
+val alloc : t -> frame
+(** Allocate a fresh zero-filled frame with reference count 1. *)
+
+val alloc_copy : t -> frame -> frame
+(** [alloc_copy t f] allocates a fresh frame whose contents are a copy of
+    [f]'s, with reference count 1. [f]'s count is unchanged. This is the
+    copy-on-write fault path; the caller accounts its cost. *)
+
+val incref : frame -> unit
+(** Add one reference (a page map sharing the frame). *)
+
+val decref : t -> frame -> unit
+(** Drop one reference; the frame is returned to the pool's free list when
+    the count reaches zero. *)
+
+val refcount : frame -> int
+
+val data : frame -> bytes
+(** The frame's backing bytes. Callers must only mutate frames they hold
+    exclusively (reference count 1); {!Page_map} enforces this. *)
+
+val id : frame -> int
+(** Stable identity of the frame, for tests and traces. *)
+
+val live_frames : t -> int
+(** Number of frames currently referenced by at least one map. *)
+
+val total_allocations : t -> int
+(** Number of [alloc]/[alloc_copy] calls since creation (monotone). *)
+
+val cow_copies : t -> int
+(** Number of [alloc_copy] calls since creation (monotone): the pool-wide
+    count of copy-on-write faults serviced. *)

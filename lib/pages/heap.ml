@@ -1,0 +1,58 @@
+type t = { space_ : Address_space.t; brk_ : int ref }
+
+let create ?(base = 0) space = { space_ = space; brk_ = ref base }
+let space t = t.space_
+let brk t = !(t.brk_)
+
+let align8 n = (n + 7) land lnot 7
+
+let alloc t n =
+  if n < 0 then invalid_arg "Heap.alloc";
+  let addr = !(t.brk_) in
+  t.brk_ := addr + align8 (max n 1);
+  addr
+
+type 'a repr =
+  | Int : int repr
+  | Float : float repr
+  | Str : int -> string repr  (* max length; stored as u32 length + bytes *)
+
+type 'a cell = { addr : int; repr : 'a repr }
+
+let cell_addr c = c.addr
+
+let get : type a. t -> a cell -> a =
+ fun t c ->
+  match c.repr with
+  | Int -> Address_space.get_int t.space_ ~addr:c.addr
+  | Float -> Address_space.get_float t.space_ ~addr:c.addr
+  | Str _ ->
+    let len = Address_space.get_int t.space_ ~addr:c.addr in
+    Address_space.get_string t.space_ ~addr:(c.addr + 8) ~len
+
+let set : type a. t -> a cell -> a -> unit =
+ fun t c v ->
+  match c.repr with
+  | Int -> Address_space.set_int t.space_ ~addr:c.addr v
+  | Float -> Address_space.set_float t.space_ ~addr:c.addr v
+  | Str max_len ->
+    if String.length v > max_len then invalid_arg "Heap.set: string too long";
+    Address_space.set_int t.space_ ~addr:c.addr (String.length v);
+    Address_space.set_string t.space_ ~addr:(c.addr + 8) v
+
+let int_cell t v =
+  let c = { addr = alloc t 8; repr = Int } in
+  set t c v;
+  c
+
+let float_cell t v =
+  let c = { addr = alloc t 8; repr = Float } in
+  set t c v;
+  c
+
+let string_cell t ~max_len v =
+  let c = { addr = alloc t (8 + max_len); repr = Str max_len } in
+  set t c v;
+  c
+
+let view t space' = { space_ = space'; brk_ = t.brk_ }

@@ -1,0 +1,41 @@
+(** A bump allocator with typed cells over an {!Address_space}.
+
+    Applications (recovery blocks, the query examples) keep their shared
+    mutable state in heap cells so that alternative executions exercise the
+    copy-on-write machinery honestly: every cell update by a speculative
+    child is a page write that may fault. *)
+
+type t
+
+val create : ?base:int -> Address_space.t -> t
+(** Allocation starts at byte address [base] (default 0). *)
+
+val space : t -> Address_space.t
+
+val alloc : t -> int -> int
+(** [alloc h n] reserves [n] bytes and returns their base address. 8-byte
+    aligned. *)
+
+val brk : t -> int
+(** Current allocation frontier. *)
+
+(** Typed cells. A cell remembers only its address, so the same cell value
+    can be dereferenced through a forked child's space: pass the child's
+    heap view obtained by {!view}. *)
+
+type 'a cell
+
+val int_cell : t -> int -> int cell
+val float_cell : t -> float -> float cell
+val string_cell : t -> max_len:int -> string -> string cell
+
+val get : t -> 'a cell -> 'a
+val set : t -> 'a cell -> 'a -> unit
+
+val cell_addr : 'a cell -> int
+
+val view : t -> Address_space.t -> t
+(** [view h space'] is a heap presenting the same cells (same addresses)
+    through a different address space — typically a COW fork of [h]'s. The
+    allocation frontier is shared with [h] so views can keep allocating
+    without overlap. *)

@@ -1,0 +1,124 @@
+type t = {
+  store : Frame_store.t;
+  mutable table : (int, Frame_store.frame) Hashtbl.t;
+  mutable cow_copies : int;
+  mutable writes : int;
+  mutable reads : int;
+  mutable released : bool;
+}
+
+let create store =
+  { store; table = Hashtbl.create 64; cow_copies = 0; writes = 0; reads = 0;
+    released = false }
+
+let store t = t.store
+let page_size t = Frame_store.page_size t.store
+
+let check t = if t.released then invalid_arg "Page_map: use after release"
+
+let fork parent =
+  check parent;
+  let table = Hashtbl.create (Hashtbl.length parent.table) in
+  Hashtbl.iter
+    (fun vpage frame ->
+      Frame_store.incref frame;
+      Hashtbl.replace table vpage frame)
+    parent.table;
+  { store = parent.store; table; cow_copies = 0; writes = 0; reads = 0;
+    released = false }
+
+let mapped_pages t =
+  check t;
+  Hashtbl.length t.table
+
+let private_pages t =
+  check t;
+  Hashtbl.fold
+    (fun _ f acc -> if Frame_store.refcount f = 1 then acc + 1 else acc)
+    t.table 0
+
+let shared_pages t = mapped_pages t - private_pages t
+
+let bounds_check t ~off ~len =
+  let ps = page_size t in
+  if off < 0 || len < 0 || off + len > ps then
+    invalid_arg "Page_map: access crosses page boundary"
+
+let read t ~vpage ~off ~len =
+  check t;
+  bounds_check t ~off ~len;
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.table vpage with
+  | None -> Bytes.make len '\000'
+  | Some f -> Bytes.sub (Frame_store.data f) off len
+
+let write t ~vpage ~off ~src ~copied =
+  check t;
+  let len = Bytes.length src in
+  bounds_check t ~off ~len;
+  t.writes <- t.writes + 1;
+  let frame =
+    match Hashtbl.find_opt t.table vpage with
+    | None ->
+      let f = Frame_store.alloc t.store in
+      Hashtbl.replace t.table vpage f;
+      f
+    | Some f when Frame_store.refcount f > 1 ->
+      (* Copy-on-write fault: privatise the frame before mutating. *)
+      let f' = Frame_store.alloc_copy t.store f in
+      Frame_store.decref t.store f;
+      Hashtbl.replace t.table vpage f';
+      t.cow_copies <- t.cow_copies + 1;
+      copied := true;
+      f'
+    | Some f -> f
+  in
+  Bytes.blit src 0 (Frame_store.data frame) off len
+
+let release t =
+  if not t.released then begin
+    Hashtbl.iter (fun _ f -> Frame_store.decref t.store f) t.table;
+    Hashtbl.reset t.table;
+    t.released <- true
+  end
+
+let released t = t.released
+
+let absorb ~parent ~child =
+  check parent;
+  check child;
+  Hashtbl.iter (fun _ f -> Frame_store.decref parent.store f) parent.table;
+  parent.table <- child.table;
+  parent.cow_copies <- parent.cow_copies + child.cow_copies;
+  parent.writes <- parent.writes + child.writes;
+  parent.reads <- parent.reads + child.reads;
+  child.table <- Hashtbl.create 1;
+  child.released <- true
+
+let cow_copies t = t.cow_copies
+let writes t = t.writes
+let reads t = t.reads
+
+let mapped_vpages t =
+  check t;
+  Hashtbl.fold (fun vp _ acc -> vp :: acc) t.table [] |> List.sort compare
+
+let frame_id t ~vpage =
+  check t;
+  Option.map Frame_store.id (Hashtbl.find_opt t.table vpage)
+
+let snapshot_equal a b =
+  check a;
+  check b;
+  let ps = page_size a in
+  if ps <> page_size b then false
+  else begin
+    let pages = Hashtbl.create 64 in
+    Hashtbl.iter (fun v _ -> Hashtbl.replace pages v ()) a.table;
+    Hashtbl.iter (fun v _ -> Hashtbl.replace pages v ()) b.table;
+    Hashtbl.fold
+      (fun vpage () acc ->
+        acc
+        && Bytes.equal (read a ~vpage ~off:0 ~len:ps) (read b ~vpage ~off:0 ~len:ps))
+      pages true
+  end

@@ -1,0 +1,69 @@
+(** Per-process page tables with copy-on-write inheritance.
+
+    "The state management strategy is copy-on-write with page map
+    inheritance from the parent" (paper, section 3.3). A {!t} maps virtual
+    page numbers to {!Frame_store} frames. {!fork} duplicates only the map;
+    frames are shared and copied lazily on first write. {!absorb} implements
+    the [alt_wait] rendezvous: the parent atomically replaces its page
+    pointer with the child's. *)
+
+type t
+
+val create : Frame_store.t -> t
+(** An empty address map over the given frame pool. Unmapped pages read as
+    zeroes and are materialised on first write. *)
+
+val store : t -> Frame_store.t
+val page_size : t -> int
+
+val fork : t -> t
+(** [fork parent] is a child map sharing every frame of [parent]
+    copy-on-write. O(mapped pages); the caller charges
+    {!Cost_model.fork_cost}. *)
+
+val mapped_pages : t -> int
+(** Number of virtual pages with a materialised frame. *)
+
+val private_pages : t -> int
+(** Mapped pages whose frame is referenced by this map alone. *)
+
+val shared_pages : t -> int
+(** Mapped pages whose frame is shared with at least one other map. *)
+
+val read : t -> vpage:int -> off:int -> len:int -> bytes
+(** Read [len] bytes at [off] within page [vpage]. Never copies. *)
+
+val write : t -> vpage:int -> off:int -> src:bytes -> copied:bool ref -> unit
+(** Write [src] at [off] within page [vpage]. Sets [copied := true] if a
+    copy-on-write fault was serviced (the caller charges
+    {!Cost_model.copy_cost} for it); leaves it untouched otherwise. Writing
+    to an unmapped page materialises a zero frame without setting
+    [copied]. *)
+
+val absorb : parent:t -> child:t -> unit
+(** The parent drops all of its frames and takes over the child's table and
+    statistics; the child map becomes released (any further use raises).
+    This is the atomic page-pointer replacement of [alt_wait]. *)
+
+val release : t -> unit
+(** Drop every frame reference (process elimination). Idempotent. *)
+
+val released : t -> bool
+
+val cow_copies : t -> int
+(** Copy-on-write faults serviced by writes through this map (absorbing a
+    child adds the child's count: the surviving timeline's history). *)
+
+val writes : t -> int
+val reads : t -> int
+
+val mapped_vpages : t -> int list
+(** Virtual page numbers with a materialised frame, ascending. *)
+
+val frame_id : t -> vpage:int -> int option
+(** Identity of the frame backing [vpage], for sharing assertions in
+    tests. *)
+
+val snapshot_equal : t -> t -> bool
+(** [snapshot_equal a b] holds when both maps present identical page
+    contents (zero-extended to the union of their mapped pages). *)

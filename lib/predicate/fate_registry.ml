@@ -1,0 +1,31 @@
+type t = (Pid.t, Predicate.fate) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let fate t pid = Hashtbl.find_opt t pid
+
+let record t pid f =
+  match Hashtbl.find_opt t pid with
+  | None -> Hashtbl.replace t pid f
+  | Some f' when f' = f -> ()
+  | Some _ -> invalid_arg "Fate_registry.record: fate already decided"
+
+let normalize t pred =
+  let step pid acc =
+    match acc with
+    | `Dead -> `Dead
+    | `Live p -> (
+      match Hashtbl.find_opt t pid with
+      | None -> `Live p
+      | Some f -> (
+        match Predicate.resolve p ~pid ~fate:f with
+        | Predicate.Unchanged -> `Live p
+        | Predicate.Simplified p' -> `Live p'
+        | Predicate.Falsified -> `Dead))
+  in
+  let pids =
+    Pid.Set.union (Predicate.must_complete pred) (Predicate.must_fail pred)
+  in
+  Pid.Set.fold step pids (`Live pred)
+
+let decided t = Hashtbl.length t

@@ -1,0 +1,28 @@
+(** The system-wide record of process fates.
+
+    Predicates mention process identifiers; "we can update the value of
+    these elements as processes change status" (section 3.3). The registry
+    is where those status changes are recorded, so that predicates can be
+    simplified lazily, and processes whose assumptions were falsified can be
+    found and eliminated. *)
+
+type t
+
+val create : unit -> t
+
+val fate : t -> Pid.t -> Predicate.fate option
+(** [None] while the process is still undecided. *)
+
+val record : t -> Pid.t -> Predicate.fate -> unit
+(** Record a fate. Recording the same fate twice is a no-op; recording a
+    {e different} fate for an already-decided pid raises [Invalid_argument]
+    — fates are immutable, which is what makes the at-most-once
+    synchronisation sound. *)
+
+val normalize : t -> Predicate.t -> [ `Live of Predicate.t | `Dead ]
+(** Simplify a predicate against every fate known to the registry. [`Dead]
+    means some assumption was falsified: the holder's world no longer
+    exists. [`Live p] carries the residual (possibly empty) predicate. *)
+
+val decided : t -> int
+(** Number of pids with a recorded fate. *)

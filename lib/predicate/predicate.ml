@@ -1,0 +1,80 @@
+type t = { completes : Pid.Set.t; fails : Pid.Set.t }
+
+let empty = { completes = Pid.Set.empty; fails = Pid.Set.empty }
+
+let consistent t = Pid.Set.disjoint t.completes t.fails
+
+let make ~must_complete ~must_fail =
+  let t =
+    {
+      completes = Pid.Set.of_list must_complete;
+      fails = Pid.Set.of_list must_fail;
+    }
+  in
+  if not (consistent t) then invalid_arg "Predicate.make: inconsistent";
+  t
+
+let must_complete t = t.completes
+let must_fail t = t.fails
+let is_certain t = Pid.Set.is_empty t.completes && Pid.Set.is_empty t.fails
+let cardinal t = Pid.Set.cardinal t.completes + Pid.Set.cardinal t.fails
+
+let assume_completes t pid =
+  if Pid.Set.mem pid t.fails then
+    invalid_arg "Predicate.assume_completes: pid already assumed to fail";
+  { t with completes = Pid.Set.add pid t.completes }
+
+let assume_fails t pid =
+  if Pid.Set.mem pid t.completes then
+    invalid_arg "Predicate.assume_fails: pid already assumed to complete";
+  { t with fails = Pid.Set.add pid t.fails }
+
+let mem_completes t pid = Pid.Set.mem pid t.completes
+let mem_fails t pid = Pid.Set.mem pid t.fails
+
+let implies r s =
+  Pid.Set.subset s.completes r.completes && Pid.Set.subset s.fails r.fails
+
+let conflicts r s =
+  (not (Pid.Set.disjoint r.completes s.fails))
+  || not (Pid.Set.disjoint r.fails s.completes)
+
+let conjoin r s =
+  if conflicts r s then invalid_arg "Predicate.conjoin: conflicting predicates";
+  {
+    completes = Pid.Set.union r.completes s.completes;
+    fails = Pid.Set.union r.fails s.fails;
+  }
+
+let equal a b =
+  Pid.Set.equal a.completes b.completes && Pid.Set.equal a.fails b.fails
+
+let compare a b =
+  let c = Pid.Set.compare a.completes b.completes in
+  if c <> 0 then c else Pid.Set.compare a.fails b.fails
+
+type fate = Completed | Failed
+
+type resolution = Unchanged | Simplified of t | Falsified
+
+let resolve t ~pid ~fate =
+  match fate with
+  | Completed ->
+    if Pid.Set.mem pid t.fails then Falsified
+    else if Pid.Set.mem pid t.completes then
+      Simplified { t with completes = Pid.Set.remove pid t.completes }
+    else Unchanged
+  | Failed ->
+    if Pid.Set.mem pid t.completes then Falsified
+    else if Pid.Set.mem pid t.fails then
+      Simplified { t with fails = Pid.Set.remove pid t.fails }
+    else Unchanged
+
+let pp ppf t =
+  let items =
+    List.map (fun p -> "+" ^ Pid.to_string p) (Pid.Set.elements t.completes)
+    @ List.map (fun p -> "-" ^ Pid.to_string p) (Pid.Set.elements t.fails)
+  in
+  Format.fprintf ppf "{%s}" (String.concat " " items)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,74 @@
+(** Process predicates (paper, sections 3.3 and 3.4.2).
+
+    A predicate records the assumptions under which a process executes, as
+    two lists of process identifiers: processes it depends on {e completing
+    successfully} and processes it depends on {e not completing}. Children
+    inherit the parent's predicates; each spawned alternative additionally
+    assumes that it completes and that its siblings do not ("sibling rivalry
+    taken to its extreme"). Messages carry the sender's predicate, and
+    receipt is decided by comparing it with the receiver's. *)
+
+type t
+
+val empty : t
+(** No assumptions: the process's effects are unconditionally observable. *)
+
+val make : must_complete:Pid.t list -> must_fail:Pid.t list -> t
+(** Raises [Invalid_argument] if the two lists intersect (a logically
+    impossible predicate). *)
+
+val must_complete : t -> Pid.Set.t
+val must_fail : t -> Pid.Set.t
+
+val is_certain : t -> bool
+(** [true] iff there are no unresolved assumptions. Only certain processes
+    may interact with {e source} state (section 3.4.2). *)
+
+val cardinal : t -> int
+(** Total number of assumptions. *)
+
+val assume_completes : t -> Pid.t -> t
+(** Add the assumption that [pid] completes. Raises [Invalid_argument] if
+    the predicate already assumes [pid] fails. *)
+
+val assume_fails : t -> Pid.t -> t
+(** Add the assumption that [pid] does not complete. Raises on the converse
+    conflict. *)
+
+val mem_completes : t -> Pid.t -> bool
+val mem_fails : t -> Pid.t -> bool
+
+val implies : t -> t -> bool
+(** [implies r s]: every assumption of [s] is already an assumption of [r].
+    This is the paper's "S is a subset of R" immediate-acceptance test (the
+    receiver's world view already agrees with the sender's). *)
+
+val conflicts : t -> t -> bool
+(** [conflicts r s]: some process is assumed to complete by one side and to
+    fail by the other. Such a message is ignored by the receiver. *)
+
+val conjoin : t -> t -> t
+(** Union of assumptions. Raises [Invalid_argument] if the two conflict;
+    callers should test {!conflicts} first. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+type fate = Completed | Failed
+(** The eventual resolution of a process. *)
+
+type resolution =
+  | Unchanged  (** The resolved pid does not occur in the predicate. *)
+  | Simplified of t
+      (** The assumption about the pid held, and has been removed. *)
+  | Falsified
+      (** The assumption about the pid was wrong: the process holding this
+          predicate lives in a dead world and must be eliminated. *)
+
+val resolve : t -> pid:Pid.t -> fate:fate -> resolution
+(** Incorporate the knowledge that [pid] met [fate]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{+P1 +P2 -P3}] ([+] must complete, [-] must fail). *)
+
+val to_string : t -> string

@@ -1,0 +1,109 @@
+let rec conjuncts = function
+  | Term.Compound (",", [| a; b |]) -> conjuncts a @ conjuncts b
+  | t -> [ t ]
+
+(* Union-find over conjunct indices, connected by shared variables. *)
+let independent_groups goals =
+  let goals = Array.of_list goals in
+  let n = Array.length goals in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  let owner : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i g ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt owner v with
+          | Some j -> union i j
+          | None -> Hashtbl.replace owner v i)
+        (Term.vars g))
+    goals;
+  let buckets : (int, Term.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i g ->
+      let r = find i in
+      match Hashtbl.find_opt buckets r with
+      | Some l -> l := g :: !l
+      | None ->
+        Hashtbl.replace buckets r (ref [ g ]);
+        order := r :: !order)
+    goals;
+  List.rev_map (fun r -> List.rev !(Hashtbl.find buckets r)) !order
+
+let conj_of = function
+  | [] -> Term.Atom "true"
+  | g :: rest ->
+    List.fold_left (fun acc g' -> Term.compound "," [ acc; g' ]) g rest
+
+type report = {
+  solution : (int * Term.t) list option;
+  groups : int;
+  group_inferences : int array;
+  seq_inferences : int;
+  seq_time : float;
+  par_time : float;
+  speedup : float;
+}
+
+let solve_sim ?(cores = Engine.Infinite) ?(inference_cost = 1e-4) db goal =
+  let qvars = Term.vars goal in
+  let groups = independent_groups (conjuncts goal) in
+  let results =
+    List.map
+      (fun group ->
+        let g = conj_of group in
+        Solve.run ~max_solutions:1 db g)
+      groups
+  in
+  let group_inferences =
+    Array.of_list (List.map (fun r -> r.Solve.inferences) results)
+  in
+  let seq = Solve.run ~max_solutions:1 db goal in
+  let seq_time = float_of_int seq.Solve.inferences *. inference_cost in
+  (* All groups must complete: run them as parallel processes and join. *)
+  let eng = Engine.create ~cores ~trace:false () in
+  let remaining = ref (List.length groups) in
+  let done_ : unit Engine.Ivar.t = Engine.Ivar.create () in
+  Array.iter
+    (fun inferences ->
+      let pid =
+        Engine.spawn eng (fun ctx ->
+            Engine.delay ctx (float_of_int inferences *. inference_cost))
+      in
+      Engine.on_exit eng pid (fun _ ->
+          decr remaining;
+          if !remaining = 0 then ignore (Engine.Ivar.try_fill done_ ())))
+    group_inferences;
+  let par_time = ref 0. in
+  ignore
+    (Engine.spawn eng ~cloneable:false (fun ctx ->
+         Engine.Ivar.read ctx done_;
+         par_time := Engine.now_v ctx));
+  Engine.run eng;
+  (* Combine first solutions: groups are variable-disjoint, so the merged
+     bindings are consistent by construction. *)
+  let solution =
+    if List.exists (fun r -> r.Solve.solutions = []) results then None
+    else
+      Some
+        (List.concat_map
+           (fun (r : Solve.result) ->
+             match r.Solve.solutions with
+             | s :: _ -> List.filter (fun (v, _) -> List.mem v qvars) s
+             | [] -> [])
+           results)
+  in
+  {
+    solution;
+    groups = List.length groups;
+    group_inferences;
+    seq_inferences = seq.Solve.inferences;
+    seq_time;
+    par_time = !par_time;
+    speedup = (if !par_time > 0. then seq_time /. !par_time else 1.);
+  }

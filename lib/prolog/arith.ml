@@ -1,0 +1,39 @@
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let rec eval subst t =
+  match Subst.walk subst t with
+  | Term.Int k -> k
+  | Term.Var _ -> error "arguments are not sufficiently instantiated"
+  | Term.Atom a -> error "%s/0 is not an arithmetic function" a
+  | Term.Compound (f, args) -> (
+    match (f, args) with
+    | "+", [| a; b |] -> eval subst a + eval subst b
+    | "-", [| a; b |] -> eval subst a - eval subst b
+    | "*", [| a; b |] -> eval subst a * eval subst b
+    | "/", [| a; b |] ->
+      let d = eval subst b in
+      if d = 0 then error "division by zero" else eval subst a / d
+    | "mod", [| a; b |] ->
+      let d = eval subst b in
+      if d = 0 then error "division by zero"
+      else begin
+        (* Prolog mod follows the divisor's sign. *)
+        let m = eval subst a mod d in
+        if (m < 0 && d > 0) || (m > 0 && d < 0) then m + d else m
+      end
+    | "-", [| a |] -> -eval subst a
+    | "abs", [| a |] -> abs (eval subst a)
+    | "min", [| a; b |] -> min (eval subst a) (eval subst b)
+    | "max", [| a; b |] -> max (eval subst a) (eval subst b)
+    | _ -> error "%s/%d is not an arithmetic function" f (Array.length args))
+
+let compare_op = function
+  | "<" -> Some ( < )
+  | ">" -> Some ( > )
+  | "=<" -> Some ( <= )
+  | ">=" -> Some ( >= )
+  | "=:=" -> Some ( = )
+  | "=\\=" -> Some ( <> )
+  | _ -> None

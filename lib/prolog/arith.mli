@@ -1,0 +1,11 @@
+(** Arithmetic evaluation for [is/2] and the comparison builtins. *)
+
+exception Eval_error of string
+
+val eval : Subst.t -> Term.t -> int
+(** Evaluate a ground arithmetic expression ([+ - * / mod], unary [-],
+    [abs], [min], [max]) under the substitution. Raises {!Eval_error} on
+    unbound variables, non-numeric leaves, or division by zero. *)
+
+val compare_op : string -> (int -> int -> bool) option
+(** The comparison behind [< > =< >= =:= =\=], if the name is one. *)

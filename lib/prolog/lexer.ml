@@ -1,0 +1,122 @@
+type token =
+  | Atom of string
+  | Variable of string
+  | Integer of int
+  | Punct of string
+  | Dot
+  | Eof
+
+exception Lex_error of { pos : int; message : string }
+
+let error pos message = raise (Lex_error { pos; message })
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c = is_lower c || is_upper c || is_digit c
+let is_layout c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_symbol_char c = String.contains "+-*/\\^<>=~:.?@#&" c
+
+let tokens src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok = out := tok :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let rec skip_layout () =
+    if !i < n then
+      if is_layout src.[!i] then begin
+        incr i;
+        skip_layout ()
+      end
+      else if src.[!i] = '%' then begin
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done;
+        skip_layout ()
+      end
+      else if src.[!i] = '/' && peek 1 = Some '*' then begin
+        let start = !i in
+        i := !i + 2;
+        let rec close () =
+          if !i + 1 >= n then error start "unterminated block comment"
+          else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+          else begin
+            incr i;
+            close ()
+          end
+        in
+        close ();
+        skip_layout ()
+      end
+  in
+  let take_while pred =
+    let start = !i in
+    while !i < n && pred src.[!i] do
+      incr i
+    done;
+    String.sub src start (!i - start)
+  in
+  let quoted_atom () =
+    let start = !i in
+    incr i;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then error start "unterminated quoted atom"
+      else
+        match src.[!i] with
+        | '\'' when peek 1 = Some '\'' ->
+          Buffer.add_char buf '\'';
+          i := !i + 2;
+          go ()
+        | '\'' -> incr i
+        | '\\' when peek 1 = Some 'n' ->
+          Buffer.add_char buf '\n';
+          i := !i + 2;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr i;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec loop () =
+    skip_layout ();
+    if !i >= n then emit Eof
+    else begin
+      let c = src.[!i] in
+      if is_digit c then emit (Integer (int_of_string (take_while is_digit)))
+      else if is_lower c then emit (Atom (take_while is_alnum))
+      else if is_upper c then emit (Variable (take_while is_alnum))
+      else if c = '\'' then emit (Atom (quoted_atom ()))
+      else if c = '(' || c = ')' || c = '[' || c = ']' || c = ',' || c = '|'
+              || c = ';' || c = '!' then begin
+        incr i;
+        emit (Punct (String.make 1 c))
+      end
+      else if is_symbol_char c then begin
+        (* A '.' followed by layout or EOF terminates a clause. *)
+        if c = '.' && (!i + 1 >= n || is_layout src.[!i + 1] || src.[!i + 1] = '%')
+        then begin
+          incr i;
+          emit Dot
+        end
+        else emit (Punct (take_while is_symbol_char))
+      end
+      else error !i (Printf.sprintf "unexpected character %C" c);
+      match !out with Eof :: _ -> () | _ -> loop ()
+    end
+  in
+  loop ();
+  List.rev !out
+
+let pp_token ppf = function
+  | Atom s -> Format.fprintf ppf "atom(%s)" s
+  | Variable s -> Format.fprintf ppf "var(%s)" s
+  | Integer k -> Format.fprintf ppf "int(%d)" k
+  | Punct s -> Format.fprintf ppf "%S" s
+  | Dot -> Format.fprintf ppf "."
+  | Eof -> Format.fprintf ppf "<eof>"

@@ -1,0 +1,22 @@
+(** Tokeniser for Edinburgh-style Prolog text.
+
+    Supports unquoted and ['quoted'] atoms, variables, non-negative
+    integers, symbolic atoms ([:-], [=..], comparison and arithmetic
+    operators), list punctuation, [%] line comments and [/* */] block
+    comments. The clause terminator is a [.] followed by layout or end of
+    input. *)
+
+type token =
+  | Atom of string
+  | Variable of string
+  | Integer of int
+  | Punct of string  (** ( ) [ ] , | ; and symbolic operator atoms *)
+  | Dot  (** Clause terminator. *)
+  | Eof
+
+exception Lex_error of { pos : int; message : string }
+
+val tokens : string -> token list
+(** All tokens, ending with [Eof]. Raises {!Lex_error} on bad input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,136 @@
+type sim_report = {
+  first_solution : (int * Term.t) list option;
+  winner_branch : int option;
+  branch_inferences : int array;
+  seq_inferences : int;
+  seq_time : float;
+  par_time : float;
+  speedup : float;
+  cow_copies : int;
+  wasted_cpu : float;
+}
+
+(* Pre-solve each branch (instantaneously, outside the simulation) to learn
+   its work and outcome, then replay that work as simulated alternatives.
+   The simulation thereby charges exactly the inference counts a real
+   OR-parallel engine would execute. *)
+let solve_sim ?(model = Cost_model.modern) ?(cores = Engine.Infinite) ?policy
+    ?(inference_cost = 1e-4) ?(heap_bytes = 256 * 1024) ?(seed = 42) db goal =
+  let qvars = Term.vars goal in
+  let branches = Solve.branches db goal in
+  let results =
+    List.map
+      (fun b -> (b, Solve.run_branch ~max_solutions:1 db ~query_vars:qvars b))
+      branches
+  in
+  let branch_inferences =
+    Array.of_list (List.map (fun (_, r) -> r.Solve.inferences) results)
+  in
+  (* The sequential engine walks the clauses in order: it pays for every
+     failed branch before the first succeeding one. *)
+  let seq = Solve.run ~max_solutions:1 db goal in
+  let seq_inferences = seq.Solve.inferences in
+  let seq_time = float_of_int seq_inferences *. inference_cost in
+  let eng = Engine.create ~cores ~model ~seed ~trace:false () in
+  let parent_space =
+    Address_space.create ~size_hint:heap_bytes (Engine.frame_store eng) model
+  in
+  let alternatives =
+    List.map
+      (fun ((b : Solve.branch), (r : Solve.result)) ->
+        Alternative.make ~name:(Printf.sprintf "clause%d" b.Solve.branch_index)
+          (fun ctx ->
+            (* Binding/trail writes: every branch updates the same shared
+               region (the binding environment), privatising pages lazily;
+               volume scales with the branch's work, locality is high. *)
+            let bytes = min heap_bytes (256 + (32 * r.Solve.inferences)) in
+            (match Engine.space ctx with
+            | Some sp ->
+              Address_space.touch sp ~addr:0 ~len:bytes;
+              Engine.charge_memory ctx
+            | None -> ());
+            Engine.delay ctx (float_of_int r.Solve.inferences *. inference_cost);
+            match r.Solve.solutions with
+            | sol :: _ -> (b.Solve.branch_index, sol)
+            | [] -> raise (Alternative.Failed "branch has no solution")))
+      results
+  in
+  match alternatives with
+  | [] ->
+    {
+      first_solution = None;
+      winner_branch = None;
+      branch_inferences;
+      seq_inferences;
+      seq_time;
+      par_time = 0.;
+      speedup = 1.;
+      cow_copies = 0;
+      wasted_cpu = 0.;
+    }
+  | _ ->
+    let report =
+      Concurrent.run_toplevel eng ?policy ~space:parent_space alternatives
+    in
+    let first_solution, winner_branch =
+      match report.Concurrent.outcome with
+      | Alt_block.Selected { value = branch_idx, sol; _ } ->
+        (Some sol, Some branch_idx)
+      | Alt_block.Block_failed _ -> (None, None)
+    in
+    let par_time = report.Concurrent.elapsed in
+    {
+      first_solution;
+      winner_branch;
+      branch_inferences;
+      seq_inferences;
+      seq_time;
+      par_time;
+      speedup = (if par_time > 0. then seq_time /. par_time else 1.);
+      cow_copies = report.Concurrent.child_cow_copies;
+      wasted_cpu = report.Concurrent.wasted_cpu;
+    }
+
+type real_report = {
+  value : (int * Term.t) list option;
+  winner : int option;
+  elapsed_parallel : float;
+  elapsed_sequential : float;
+}
+
+let solve_real ?(timeout = 30.) db goal =
+  let qvars = Term.vars goal in
+  let branches = Solve.branches db goal in
+  let t0 = Unix.gettimeofday () in
+  let seq = Solve.run ~max_solutions:1 db goal in
+  let elapsed_sequential = Unix.gettimeofday () -. t0 in
+  match branches with
+  | [] ->
+    {
+      value = (match seq.Solve.solutions with s :: _ -> Some s | [] -> None);
+      winner = None;
+      elapsed_parallel = elapsed_sequential;
+      elapsed_sequential;
+    }
+  | _ ->
+    let thunks =
+      List.map
+        (fun (b : Solve.branch) () ->
+          match
+            (Solve.run_branch ~max_solutions:1 db ~query_vars:qvars b)
+              .Solve.solutions
+          with
+          | sol :: _ -> (b.Solve.branch_index, sol)
+          | [] -> failwith "no solution in this branch")
+        branches
+    in
+    (match Fork_race.run ~timeout thunks with
+    | Fork_race.Winner { value = branch_idx, sol; elapsed; _ } ->
+      {
+        value = Some sol;
+        winner = Some branch_idx;
+        elapsed_parallel = elapsed;
+        elapsed_sequential;
+      }
+    | Fork_race.All_failed { elapsed } | Fork_race.Timed_out { elapsed } ->
+      { value = None; winner = None; elapsed_parallel = elapsed; elapsed_sequential })

@@ -1,0 +1,32 @@
+module IntMap = Map.Make (Int)
+
+type t = Term.t IntMap.t
+
+let empty = IntMap.empty
+let is_empty = IntMap.is_empty
+let cardinal = IntMap.cardinal
+
+let bind s i t =
+  if IntMap.mem i s then invalid_arg "Subst.bind: variable already bound";
+  IntMap.add i t s
+
+let lookup s i = IntMap.find_opt i s
+
+let rec walk s t =
+  match t with
+  | Term.Var i -> (
+    match IntMap.find_opt i s with Some t' -> walk s t' | None -> t)
+  | _ -> t
+
+let rec resolve s t =
+  match walk s t with
+  | Term.Compound (f, args) -> Term.Compound (f, Array.map (resolve s) args)
+  | t' -> t'
+
+let restrict s ~vars =
+  List.filter_map
+    (fun v ->
+      match walk s (Term.Var v) with
+      | Term.Var v' when v' = v -> None
+      | _ -> Some (v, resolve s (Term.Var v)))
+    vars

@@ -1,0 +1,33 @@
+let rec occurs s v t =
+  match Subst.walk s t with
+  | Term.Var i -> i = v
+  | Term.Atom _ | Term.Int _ -> false
+  | Term.Compound (_, args) -> Array.exists (occurs s v) args
+
+let rec unify ?(occurs_check = false) s a b =
+  let a = Subst.walk s a and b = Subst.walk s b in
+  match (a, b) with
+  | Term.Var i, Term.Var j when i = j -> Some s
+  | Term.Var i, t | t, Term.Var i ->
+    if occurs_check && occurs s i t then None else Some (Subst.bind s i t)
+  | Term.Atom x, Term.Atom y -> if String.equal x y then Some s else None
+  | Term.Int x, Term.Int y -> if x = y then Some s else None
+  | Term.Compound (f, xs), Term.Compound (g, ys) ->
+    if String.equal f g && Array.length xs = Array.length ys then
+      unify_arrays ~occurs_check s xs ys
+    else None
+  | (Term.Atom _ | Term.Int _ | Term.Compound _), _ -> None
+
+and unify_arrays ?(occurs_check = false) s xs ys =
+  if Array.length xs <> Array.length ys then None
+  else begin
+    let n = Array.length xs in
+    let rec go s i =
+      if i >= n then Some s
+      else
+        match unify ~occurs_check s xs.(i) ys.(i) with
+        | Some s' -> go s' (i + 1)
+        | None -> None
+    in
+    go s 0
+  end

@@ -1,0 +1,36 @@
+type t = { rng : Rng.t }
+
+let create ~seed = { rng = Rng.create ~seed }
+
+type mode = Crash | Wrong | Slow of float
+
+let apply_mode mode corrupt name ctx run =
+  match mode with
+  | Crash -> raise (Alternative.Failed (name ^ ": injected crash"))
+  | Wrong -> (
+    match corrupt with
+    | Some f -> f (run ctx)
+    | None -> invalid_arg "Fault: Wrong mode requires ~corrupt")
+  | Slow extra ->
+    Engine.delay ctx extra;
+    run ctx
+
+let wrap t ~p ~mode ?corrupt (alt : 'a Recovery_block.alternate) =
+  {
+    Recovery_block.name = alt.Recovery_block.name ^ "?";
+    version =
+      (fun ctx ->
+        if Rng.bernoulli t.rng ~p then
+          apply_mode mode corrupt alt.Recovery_block.name ctx
+            alt.Recovery_block.version
+        else alt.Recovery_block.version ctx);
+  }
+
+let always ~mode ?corrupt (alt : 'a Recovery_block.alternate) =
+  {
+    Recovery_block.name = alt.Recovery_block.name ^ "!";
+    version =
+      (fun ctx ->
+        apply_mode mode corrupt alt.Recovery_block.name ctx
+          alt.Recovery_block.version);
+  }

@@ -1,0 +1,32 @@
+(** Deterministic fault injection for recovery-block experiments.
+
+    Recovery blocks exist to tolerate "mistakes in [the software's] own
+    logic"; to evaluate them we need versions that fail on demand. A
+    {!t} draws from a seeded stream, so every experiment is reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+type mode =
+  | Crash  (** The version raises instead of returning. *)
+  | Wrong  (** The version returns a corrupted value (the acceptance test is
+               expected to reject it). *)
+  | Slow of float  (** The version takes this many extra seconds. *)
+
+val wrap :
+  t ->
+  p:float ->
+  mode:mode ->
+  ?corrupt:('a -> 'a) ->
+  'a Recovery_block.alternate ->
+  'a Recovery_block.alternate
+(** [wrap t ~p ~mode alt] misbehaves with probability [p] on each
+    execution. [Wrong] requires [corrupt] (raises [Invalid_argument]
+    otherwise). The draw is made before the version runs, so the failure
+    pattern is identical between sequential and concurrent executions of
+    the same seed when drawn per-alternate. *)
+
+val always : mode:mode -> ?corrupt:('a -> 'a) ->
+  'a Recovery_block.alternate -> 'a Recovery_block.alternate
+(** Deterministically faulty version. *)

@@ -1,0 +1,80 @@
+type 'a alternate = { name : string; version : Engine.ctx -> 'a }
+
+let alternate ?(name = "alternate") version = { name; version }
+
+type 'a t = {
+  alternates : 'a alternate list;
+  acceptance : Engine.ctx -> 'a -> bool;
+}
+
+let make ~acceptance alternates =
+  if alternates = [] then invalid_arg "Recovery_block.make: no alternates";
+  { alternates; acceptance }
+
+type 'a result = {
+  verdict : [ `Accepted of int * 'a | `Failed ];
+  elapsed : float;
+  attempts : int;
+  rollbacks : int;
+  wasted_cpu : float;
+}
+
+let to_alternatives rb =
+  List.map
+    (fun alt ->
+      Alternative.make ~name:alt.name (fun ctx ->
+          let v = alt.version ctx in
+          if rb.acceptance ctx v then v
+          else raise (Alternative.Failed (alt.name ^ ": acceptance test failed"))))
+    rb.alternates
+
+let run_sequential ctx rb =
+  let t0 = Engine.now_v ctx in
+  let alts = Array.of_list (to_alternatives rb) in
+  let rec go i attempts rollbacks =
+    if i >= Array.length alts then
+      {
+        verdict = `Failed;
+        elapsed = Engine.now_v ctx -. t0;
+        attempts;
+        rollbacks;
+        wasted_cpu = 0.;
+      }
+    else
+      match Alt_block.attempt ctx alts.(i) with
+      | Ok v ->
+        {
+          verdict = `Accepted (i, v);
+          elapsed = Engine.now_v ctx -. t0;
+          attempts = attempts + 1;
+          rollbacks;
+          wasted_cpu = 0.;
+        }
+      | Error _ -> go (i + 1) (attempts + 1) (rollbacks + 1)
+  in
+  go 0 0 0
+
+let run_concurrent ctx ?policy rb =
+  let report = Concurrent.run ctx ?policy (to_alternatives rb) in
+  let verdict =
+    match report.Concurrent.outcome with
+    | Alt_block.Selected { index; value } -> `Accepted (index, value)
+    | Alt_block.Block_failed _ -> `Failed
+  in
+  {
+    verdict;
+    elapsed = report.Concurrent.elapsed;
+    attempts = List.length rb.alternates;
+    rollbacks = 0;
+    wasted_cpu = report.Concurrent.wasted_cpu;
+  }
+
+let distributed_policy ?(nodes = 3) ?(crashed = []) ?(vote_delay = 0.)
+    ?(reply_timeout = 1.0) ?(timeout = 1e12) () =
+  {
+    Concurrent.elimination = Concurrent.Async_elim;
+    sync = Concurrent.Consensus { nodes; crashed; vote_delay; reply_timeout };
+    timeout;
+    guards = Concurrent.Guard_in_child;
+    placement = Concurrent.Remote_spawn;
+  }

@@ -1,0 +1,998 @@
+type cores = Infinite | Cores of int
+
+type exit_status =
+  | Exited_ok
+  | Exited_failed of string
+  | Crashed of string
+  | Eliminated of string
+
+exception Process_killed of string
+exception Abort_process of string
+exception Replay_divergence of string
+
+(* One entry per effectful operation of a cloneable process, enough to
+   re-execute its body deterministically up to a given point. *)
+type log_entry =
+  | L_delay of float
+  | L_now of float
+  | L_recv of Message.t
+  | L_recv_opt of Message.t option
+  | L_sent
+  | L_random of int64
+
+type proc_state =
+  | Embryo
+  | Running
+  | Suspended
+  | Dead of exit_status
+
+type cpu_task = { mutable remaining : float; resume : unit -> unit }
+
+type park =
+  | Park_recv of {
+      tag : string option;
+      wake : Message.t -> unit;
+      cancel : string -> unit;
+    }
+  | Park_ivar of { cancel : string -> unit }
+  | Park_cpu of { task : cpu_task; cancel : string -> unit }
+
+type pcb = {
+  pid : Pid.t;
+  logical : Pid.t;
+  parent : Pid.t option;
+  name : string;
+  body : ctx -> unit;
+  mutable state : proc_state;
+  mutable park : park option;
+  mutable predicate : Predicate.t;
+  space : Address_space.t option;
+  mutable mailbox : Message.t list;  (* arrival order *)
+  mutable doomed : string option;
+  mutable cloneable : bool;
+  mutable log : log_entry list;  (* newest first *)
+  mutable replay : log_entry list;  (* oldest first; non-empty while replaying *)
+  mutable send_seq : int;
+  mutable exit_watchers : (exit_status -> unit) list;
+  mutable res_watchers : ([ `Certain | `Dead ] -> unit) list;
+  mutable preserve_space : bool;
+  oblivious : bool;
+}
+
+and ctx = { engine : t; pcb : pcb }
+
+and event = { mutable dead_ev : bool; run_ev : unit -> unit }
+
+and t = {
+  mutable vnow : float;
+  events : event Event_queue.t;
+  procs : (Pid.t, pcb) Hashtbl.t;
+  worlds : (Pid.t, Pid.t list ref) Hashtbl.t;  (* logical pid -> copies *)
+  alloc : Pid.Allocator.t;
+  reg : Fate_registry.t;
+  store : Frame_store.t;
+  model_ : Cost_model.t;
+  cores : cores;
+  trace_ : Trace.t;
+  rng : Rng.t;
+  cpu_tasks : (Pid.t, cpu_task) Hashtbl.t;
+  cpu_used : (Pid.t, float ref) Hashtbl.t;
+  mutable cpu_gen : int;
+  mutable cpu_last : float;
+  mutable cpu_tick_ev : event option;
+  channels : (Pid.t * Pid.t, float) Hashtbl.t;  (* last delivery per channel *)
+  mutable events_processed : int;
+  mutable live : int;
+  mutable deferred : Pid.t list;  (* exited ok, fate deferred on predicates *)
+  mutable stopped : bool;
+  mutable sweeping : bool;
+  mutable sweep_again : bool;
+}
+
+type _ Effect.t +=
+  | E_delay : float -> unit Effect.t
+  | E_now : float Effect.t
+  | E_send : (Pid.t * string * Payload.t) -> unit Effect.t
+  | E_recv : string option -> Message.t Effect.t
+  | E_recv_timeout : string option * float -> Message.t option Effect.t
+  | E_random : int64 Effect.t
+  | E_park : (wake:(unit -> unit) -> unit) -> unit Effect.t
+
+let create ?(cores = Infinite) ?(model = Cost_model.uniform ()) ?(seed = 42)
+    ?(trace = true) () =
+  {
+    vnow = 0.;
+    events = Event_queue.create ();
+    procs = Hashtbl.create 64;
+    worlds = Hashtbl.create 64;
+    alloc = Pid.Allocator.create ();
+    reg = Fate_registry.create ();
+    store = Frame_store.create ~page_size:model.Cost_model.page_size;
+    model_ = model;
+    cores;
+    trace_ = Trace.create ~enabled:trace ();
+    rng = Rng.create ~seed;
+    cpu_tasks = Hashtbl.create 16;
+    cpu_used = Hashtbl.create 64;
+    cpu_gen = 0;
+    cpu_last = 0.;
+    cpu_tick_ev = None;
+    channels = Hashtbl.create 64;
+    events_processed = 0;
+    live = 0;
+    deferred = [];
+    stopped = false;
+    sweeping = false;
+    sweep_again = false;
+  }
+
+let now t = t.vnow
+let model t = t.model_
+let frame_store t = t.store
+let trace t = t.trace_
+let registry t = t.reg
+let stats_events_processed t = t.events_processed
+
+let schedule_cancellable t ~at thunk =
+  let ev = { dead_ev = false; run_ev = thunk } in
+  Event_queue.push t.events ~time:(Float.max at t.vnow) ev;
+  ev
+
+let cancel_event ev = ev.dead_ev <- true
+
+let schedule t ~at thunk = ignore (schedule_cancellable t ~at thunk)
+
+let tr t e = Trace.record t.trace_ ~time:t.vnow e
+
+let status_string = function
+  | Exited_ok -> "ok"
+  | Exited_failed r -> "failed: " ^ r
+  | Crashed r -> "crashed: " ^ r
+  | Eliminated r -> "eliminated: " ^ r
+
+(* ------------------------------------------------------------------ *)
+(* CPU: egalitarian processor sharing over [cores] processors.         *)
+
+let cpu_rate t =
+  let n = Hashtbl.length t.cpu_tasks in
+  if n = 0 then 1.0
+  else
+    match t.cores with
+    | Infinite -> 1.0
+    | Cores c -> Float.min 1.0 (float_of_int c /. float_of_int n)
+
+let charge_cpu_used t pid amount =
+  match Hashtbl.find_opt t.cpu_used pid with
+  | Some r -> r := !r +. amount
+  | None -> Hashtbl.replace t.cpu_used pid (ref amount)
+
+let cpu_update t =
+  let elapsed = t.vnow -. t.cpu_last in
+  if elapsed > 0. then begin
+    let rate = cpu_rate t in
+    Hashtbl.iter
+      (fun pid task ->
+        task.remaining <- task.remaining -. (elapsed *. rate);
+        charge_cpu_used t pid (elapsed *. rate))
+      t.cpu_tasks
+  end;
+  t.cpu_last <- t.vnow
+
+let rec cpu_reschedule t =
+  t.cpu_gen <- t.cpu_gen + 1;
+  (match t.cpu_tick_ev with
+  | Some ev ->
+    cancel_event ev;
+    t.cpu_tick_ev <- None
+  | None -> ());
+  if Hashtbl.length t.cpu_tasks > 0 then begin
+    let gen = t.cpu_gen in
+    let rate = cpu_rate t in
+    let min_rem =
+      Hashtbl.fold
+        (fun _ task acc -> Float.min acc (Float.max 0. task.remaining))
+        t.cpu_tasks infinity
+    in
+    let at = t.vnow +. (min_rem /. rate) in
+    t.cpu_tick_ev <- Some (schedule_cancellable t ~at (fun () -> cpu_tick t gen))
+  end
+
+and cpu_tick t gen =
+  if gen = t.cpu_gen then begin
+    cpu_update t;
+    let done_ =
+      Hashtbl.fold
+        (fun pid task acc -> if task.remaining <= 1e-12 then (pid, task) :: acc else acc)
+        t.cpu_tasks []
+    in
+    let done_ = List.sort (fun (a, _) (b, _) -> Pid.compare a b) done_ in
+    List.iter (fun (pid, _) -> Hashtbl.remove t.cpu_tasks pid) done_;
+    cpu_reschedule t;
+    List.iter (fun (_, task) -> task.resume ()) done_
+  end
+
+let cpu_add t pid task =
+  cpu_update t;
+  Hashtbl.replace t.cpu_tasks pid task;
+  cpu_reschedule t
+
+let cpu_remove t pid =
+  if Hashtbl.mem t.cpu_tasks pid then begin
+    cpu_update t;
+    Hashtbl.remove t.cpu_tasks pid;
+    cpu_reschedule t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Process table helpers.                                              *)
+
+let find_pcb t pid = Hashtbl.find_opt t.procs pid
+
+let is_alive pcb = match pcb.state with Dead _ -> false | _ -> true
+
+let alive t pid = match find_pcb t pid with Some p -> is_alive p | None -> false
+
+let status t pid =
+  match find_pcb t pid with
+  | Some { state = Dead s; _ } -> Some s
+  | _ -> None
+
+let predicate_of t pid = Option.map (fun p -> p.predicate) (find_pcb t pid)
+
+let live_count t = t.live
+
+let parked_pids t =
+  Hashtbl.fold
+    (fun pid pcb acc -> if is_alive pcb && pcb.park <> None then pid :: acc else acc)
+    t.procs []
+  |> List.sort Pid.compare
+
+let log_push pcb e =
+  if pcb.cloneable && pcb.replay = [] then pcb.log <- e :: pcb.log
+
+let replay_next pcb =
+  match pcb.replay with
+  | [] -> None
+  | e :: rest ->
+    pcb.replay <- rest;
+    Some e
+
+let disable_cloning pcb =
+  if pcb.cloneable then begin
+    pcb.cloneable <- false;
+    pcb.log <- []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fates, predicate sweep, world elimination.                          *)
+
+let rec finalize t pcb st =
+  match pcb.state with
+  | Dead _ -> ()
+  | _ ->
+    pcb.state <- Dead st;
+    pcb.park <- None;
+    cpu_remove t pcb.pid;
+    if not pcb.preserve_space then Option.iter Address_space.release pcb.space;
+    t.live <- t.live - 1;
+    tr t (Trace.Exited { pid = pcb.pid; status = status_string st });
+    let watchers = pcb.exit_watchers in
+    pcb.exit_watchers <- [];
+    List.iter
+      (fun w ->
+        try w st
+        with e ->
+          tr t (Trace.Note ("exit watcher raised: " ^ Printexc.to_string e)))
+      watchers;
+    (match st with
+    | Exited_ok -> (
+      (* An alternative's predicate assumes its own completion; its exit is
+         precisely what resolves that assumption. *)
+      (match Predicate.resolve pcb.predicate ~pid:pcb.pid ~fate:Predicate.Completed with
+      | Predicate.Simplified p -> pcb.predicate <- p
+      | Predicate.Unchanged -> ()
+      | Predicate.Falsified ->
+        (* It assumed its own failure: an impossible world; drop the
+           self-assumption and let the normal sweep handle the rest. *)
+        ());
+      match Fate_registry.normalize t.reg pcb.predicate with
+      | `Dead ->
+        fire_res_watchers t pcb `Dead;
+        record_fate t pcb.pid Predicate.Failed
+      | `Live p when Predicate.is_certain p ->
+        fire_res_watchers t pcb `Certain;
+        record_fate t pcb.pid Predicate.Completed
+      | `Live p ->
+        (* Completion is conditional on unresolved assumptions: defer the
+           fate until they resolve (the process "cannot commit" yet). *)
+        pcb.predicate <- p;
+        t.deferred <- pcb.pid :: t.deferred;
+        tr t (Trace.Fate_deferred pcb.pid))
+    | Exited_failed _ | Crashed _ | Eliminated _ ->
+      fire_res_watchers t pcb `Dead;
+      record_fate t pcb.pid Predicate.Failed)
+
+and fire_res_watchers t pcb outcome =
+  let ws = pcb.res_watchers in
+  pcb.res_watchers <- [];
+  List.iter
+    (fun w ->
+      try w outcome
+      with e ->
+        tr t (Trace.Note ("resolution watcher raised: " ^ Printexc.to_string e)))
+    ws
+
+and record_fate t pid fate =
+  (match Fate_registry.fate t.reg pid with
+  | Some f when f = fate -> ()
+  | _ ->
+    Fate_registry.record t.reg pid fate;
+    tr t (Trace.Fate { pid; fate }));
+  sweep t
+
+and kill t pid ~reason =
+  match find_pcb t pid with
+  | None -> ()
+  | Some pcb -> (
+    match pcb.state with
+    | Dead _ -> ()
+    | Embryo -> finalize t pcb (Eliminated reason)
+    | Running -> pcb.doomed <- Some reason
+    | Suspended -> (
+      match pcb.park with
+      | None ->
+        (* Runnable (start scheduled): doom it; the start event checks. *)
+        pcb.doomed <- Some reason
+      | Some (Park_recv { cancel; _ })
+      | Some (Park_ivar { cancel })
+      | Some (Park_cpu { cancel; _ }) ->
+        pcb.park <- None;
+        cpu_remove t pcb.pid;
+        cancel reason))
+
+(* Re-examine every live process's predicate after new knowledge arrives:
+   falsified worlds are eliminated, satisfied assumptions removed, parked
+   receivers rescanned, deferred fates settled. *)
+and sweep t =
+  if t.sweeping then t.sweep_again <- true
+  else begin
+    t.sweeping <- true;
+    let continue = ref true in
+    while !continue do
+      t.sweep_again <- false;
+      let live =
+        Hashtbl.fold (fun _ p acc -> if is_alive p then p :: acc else acc) t.procs []
+        |> List.sort (fun a b -> Pid.compare a.pid b.pid)
+      in
+      List.iter
+        (fun pcb ->
+          if is_alive pcb then begin
+            (match Fate_registry.normalize t.reg pcb.predicate with
+            | `Dead ->
+              tr t (Trace.Killed { pid = pcb.pid; reason = "dead world" });
+              fire_res_watchers t pcb `Dead;
+              kill t pcb.pid ~reason:"dead world"
+            | `Live p ->
+              let changed = not (Predicate.equal p pcb.predicate) in
+              pcb.predicate <- p;
+              if changed && Predicate.is_certain p then
+                fire_res_watchers t pcb `Certain);
+            (* A parked receiver may now be able to accept a message whose
+               acceptance was deferred. *)
+            if is_alive pcb then rescan_parked t pcb
+          end)
+        live;
+      (* Settle deferred fates. *)
+      let deferred = t.deferred in
+      t.deferred <- [];
+      let still =
+        List.filter
+          (fun pid ->
+            match find_pcb t pid with
+            | None -> false
+            | Some pcb -> (
+              match Fate_registry.normalize t.reg pcb.predicate with
+              | `Dead ->
+                fire_res_watchers t pcb `Dead;
+                record_fate t pid Predicate.Failed;
+                false
+              | `Live p when Predicate.is_certain p ->
+                pcb.predicate <- p;
+                fire_res_watchers t pcb `Certain;
+                record_fate t pid Predicate.Completed;
+                false
+              | `Live p ->
+                pcb.predicate <- p;
+                true))
+          deferred
+      in
+      t.deferred <- still @ t.deferred;
+      continue := t.sweep_again
+    done;
+    t.sweeping <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message scanning: accept / ignore / split (section 3.4.2).          *)
+
+and try_receive t pcb tag : Message.t option =
+  (* Walk the mailbox in order; honour per-sender FIFO when deferring. *)
+  let blocked = Hashtbl.create 4 in
+  let rec scan acc = function
+    | [] ->
+      pcb.mailbox <- List.rev acc;
+      None
+    | m :: rest ->
+      let skip () = scan (m :: acc) rest in
+      let matches_tag =
+        match tag with None -> true | Some wanted -> String.equal m.Message.tag wanted
+      in
+      if not matches_tag then skip ()
+      else if pcb.oblivious then begin
+        (* Kernel-level services (consensus voters, devices) accept every
+           message: they are part of process management, not of any world. *)
+        tr t (Trace.Accepted { dest = pcb.pid; msg = m });
+        pcb.mailbox <- List.rev_append acc rest;
+        Some m
+      end
+      else if Hashtbl.mem blocked m.Message.sender then skip ()
+      else begin
+        match Fate_registry.normalize t.reg m.Message.predicate with
+        | `Dead ->
+          (* The sender's world died: the message never happened. *)
+          tr t (Trace.Ignored { dest = pcb.pid; msg = m; reason = "dead world" });
+          scan acc rest
+        | `Live s ->
+          if Predicate.implies pcb.predicate s then begin
+            tr t (Trace.Accepted { dest = pcb.pid; msg = m });
+            pcb.mailbox <- List.rev_append acc rest;
+            Some m
+          end
+          else if Predicate.conflicts pcb.predicate s then begin
+            tr t (Trace.Ignored { dest = pcb.pid; msg = m; reason = "conflict" });
+            scan acc rest
+          end
+          else begin
+            (* The message requires new assumptions. *)
+            match accept_with_split t pcb m s with
+            | `Accepted ->
+              pcb.mailbox <- List.rev_append acc rest;
+              Some m
+            | `Deferred ->
+              (* Keep waiting: do not overtake this sender (FIFO). *)
+              Hashtbl.replace blocked m.Message.sender ();
+              skip ()
+          end
+      end
+  in
+  scan [] pcb.mailbox
+
+(* Receiver [pcb] is about to accept [m] whose (normalized) sending
+   predicate [s] extends the receiver's assumptions. Create the rejecting
+   world as a replay clone, then let [pcb] proceed as the accepting world. *)
+and accept_with_split t pcb m s =
+  let sender = m.Message.sender in
+  let reject_pred =
+    if Predicate.mem_completes pcb.predicate sender then None
+    else Some (Predicate.assume_fails pcb.predicate sender)
+  in
+  let can_clone = pcb.cloneable in
+  match reject_pred with
+  | None ->
+    (* The receiver already depends on the sender completing; the only new
+       assumptions are the sender's own, which acceptance takes on. *)
+    adopt_sender_assumptions t pcb m s;
+    `Accepted
+  | Some reject_pred when can_clone ->
+    let clone_pid = Pid.Allocator.fresh t.alloc in
+    let clone =
+      make_pcb t ~pid:clone_pid ~logical:pcb.logical ~parent:pcb.parent
+        ~name:(pcb.name ^ "~world") ~predicate:reject_pred ~space:None
+        ~cloneable:true ~oblivious:false ~body:pcb.body
+    in
+    clone.replay <- List.rev pcb.log;
+    clone.log <- pcb.log;
+    clone.mailbox <-
+      List.filter (fun m' -> not (m' == m)) pcb.mailbox;
+    register_world t clone;
+    t.live <- t.live + 1;
+    tr t (Trace.Split { original = pcb.pid; clone = clone_pid; on = m });
+    (* Charge the copy as a fork-base-cost start delay for the clone. *)
+    schedule t ~at:(t.vnow +. t.model_.Cost_model.fork_base) (fun () ->
+        start_pcb t clone);
+    adopt_sender_assumptions t pcb m s;
+    `Accepted
+  | Some _ ->
+    (* Not cloneable: fall back to deferring until the sender resolves
+       (pessimistic but semantics-preserving). *)
+    tr t
+      (Trace.Ignored
+         { dest = pcb.pid; msg = m; reason = "deferred (receiver not cloneable)" });
+    `Deferred
+
+and adopt_sender_assumptions t pcb m s =
+  let p = Predicate.conjoin pcb.predicate s in
+  let p =
+    if Predicate.mem_completes p m.Message.sender then p
+    else Predicate.assume_completes p m.Message.sender
+  in
+  pcb.predicate <- p;
+  tr t (Trace.Accepted { dest = pcb.pid; msg = m })
+
+and rescan_parked t pcb =
+  match pcb.park with
+  | Some (Park_recv { tag; wake; _ }) -> (
+    match try_receive t pcb tag with Some m -> wake m | None -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Process creation and the effect handler.                            *)
+
+and make_pcb t ~pid ~logical ~parent ~name ~predicate ~space ~cloneable
+    ~oblivious ~body =
+  if Hashtbl.mem t.procs pid then
+    invalid_arg "Engine.spawn: pid already in use";
+  let pcb =
+    {
+      pid;
+      logical;
+      parent;
+      name;
+      body;
+      state = Embryo;
+      park = None;
+      predicate;
+      space;
+      mailbox = [];
+      doomed = None;
+      cloneable = cloneable && space = None;
+      log = [];
+      replay = [];
+      send_seq = 0;
+      exit_watchers = [];
+      res_watchers = [];
+      preserve_space = false;
+      oblivious;
+    }
+  in
+  Hashtbl.replace t.procs pid pcb;
+  pcb
+
+and register_world t pcb =
+  match Hashtbl.find_opt t.worlds pcb.logical with
+  | Some l -> l := pcb.pid :: !l
+  | None -> Hashtbl.replace t.worlds pcb.logical (ref [ pcb.pid ])
+
+and start_pcb t pcb =
+  match pcb.state with
+  | Dead _ -> ()
+  | Embryo -> (
+    match pcb.doomed with
+    | Some reason -> finalize t pcb (Eliminated reason)
+    | None ->
+      pcb.state <- Running;
+      tr t (Trace.Started pcb.pid);
+      run_body t pcb)
+  | Running | Suspended -> assert false
+
+and run_body t pcb =
+  let ctx = { engine = t; pcb } in
+  let check_doom : type a. (a, unit) Effect.Deep.continuation -> bool =
+   fun k ->
+    match pcb.doomed with
+    | Some reason ->
+      pcb.doomed <- None;
+      Effect.Deep.discontinue k (Process_killed reason);
+      true
+    | None -> false
+  in
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> finalize t pcb Exited_ok);
+      exnc =
+        (fun e ->
+          match e with
+          | Process_killed r -> finalize t pcb (Eliminated r)
+          | Abort_process r -> finalize t pcb (Exited_failed r)
+          | e -> finalize t pcb (Crashed (Printexc.to_string e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_delay dt ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  match replay_next pcb with
+                  | Some (L_delay _) -> Effect.Deep.continue k ()
+                  | Some _ ->
+                    Effect.Deep.discontinue k
+                      (Replay_divergence "expected delay")
+                  | None ->
+                    log_push pcb (L_delay dt);
+                    if dt <= 0. then Effect.Deep.continue k ()
+                    else begin
+                      let armed = ref true in
+                      let task =
+                        {
+                          remaining = dt;
+                          resume =
+                            (fun () ->
+                              if !armed then begin
+                                armed := false;
+                                pcb.park <- None;
+                                pcb.state <- Running;
+                                Effect.Deep.continue k ()
+                              end);
+                        }
+                      in
+                      let cancel reason =
+                        if !armed then begin
+                          armed := false;
+                          Effect.Deep.discontinue k (Process_killed reason)
+                        end
+                      in
+                      pcb.state <- Suspended;
+                      pcb.park <- Some (Park_cpu { task; cancel });
+                      cpu_add t pcb.pid task
+                    end
+                end)
+          | E_now ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  match replay_next pcb with
+                  | Some (L_now v) -> Effect.Deep.continue k v
+                  | Some _ ->
+                    Effect.Deep.discontinue k (Replay_divergence "expected now")
+                  | None ->
+                    log_push pcb (L_now t.vnow);
+                    Effect.Deep.continue k t.vnow
+                end)
+          | E_random ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  match replay_next pcb with
+                  | Some (L_random v) -> Effect.Deep.continue k v
+                  | Some _ ->
+                    Effect.Deep.discontinue k
+                      (Replay_divergence "expected random")
+                  | None ->
+                    let v = Rng.bits64 t.rng in
+                    log_push pcb (L_random v);
+                    Effect.Deep.continue k v
+                end)
+          | E_send (dest, tag, payload) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  match replay_next pcb with
+                  | Some L_sent -> Effect.Deep.continue k ()
+                  | Some _ ->
+                    Effect.Deep.discontinue k (Replay_divergence "expected send")
+                  | None ->
+                    log_push pcb L_sent;
+                    do_send t pcb ~dest ~tag payload;
+                    Effect.Deep.continue k ()
+                end)
+          | E_recv tag ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  match replay_next pcb with
+                  | Some (L_recv m) -> Effect.Deep.continue k m
+                  | Some _ ->
+                    Effect.Deep.discontinue k
+                      (Replay_divergence "expected receive")
+                  | None -> (
+                    match try_receive t pcb tag with
+                    | Some m ->
+                      log_push pcb (L_recv m);
+                      Effect.Deep.continue k m
+                    | None ->
+                      let armed = ref true in
+                      let wake m =
+                        if !armed then begin
+                          armed := false;
+                          pcb.park <- None;
+                          pcb.state <- Running;
+                          log_push pcb (L_recv m);
+                          Effect.Deep.continue k m
+                        end
+                      in
+                      let cancel reason =
+                        if !armed then begin
+                          armed := false;
+                          Effect.Deep.discontinue k (Process_killed reason)
+                        end
+                      in
+                      pcb.state <- Suspended;
+                      pcb.park <- Some (Park_recv { tag; wake; cancel }))
+                end)
+          | E_recv_timeout (tag, timeout) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  match replay_next pcb with
+                  | Some (L_recv_opt r) -> Effect.Deep.continue k r
+                  | Some _ ->
+                    Effect.Deep.discontinue k
+                      (Replay_divergence "expected receive_timeout")
+                  | None -> (
+                    match try_receive t pcb tag with
+                    | Some m ->
+                      log_push pcb (L_recv_opt (Some m));
+                      Effect.Deep.continue k (Some m)
+                    | None ->
+                      let armed = ref true in
+                      let timeout_ev = ref None in
+                      let disarm () =
+                        armed := false;
+                        Option.iter cancel_event !timeout_ev
+                      in
+                      let wake m =
+                        if !armed then begin
+                          disarm ();
+                          pcb.park <- None;
+                          pcb.state <- Running;
+                          log_push pcb (L_recv_opt (Some m));
+                          Effect.Deep.continue k (Some m)
+                        end
+                      in
+                      let timeout_wake () =
+                        if !armed then begin
+                          disarm ();
+                          pcb.park <- None;
+                          pcb.state <- Running;
+                          log_push pcb (L_recv_opt None);
+                          Effect.Deep.continue k None
+                        end
+                      in
+                      let cancel reason =
+                        if !armed then begin
+                          disarm ();
+                          Effect.Deep.discontinue k (Process_killed reason)
+                        end
+                      in
+                      pcb.state <- Suspended;
+                      pcb.park <- Some (Park_recv { tag; wake; cancel });
+                      timeout_ev :=
+                        Some
+                          (schedule_cancellable t ~at:(t.vnow +. timeout)
+                             (fun () -> timeout_wake ())))
+                end)
+          | E_park register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if check_doom k then ()
+                else begin
+                  disable_cloning pcb;
+                  let armed = ref true in
+                  let wake () =
+                    if !armed then begin
+                      armed := false;
+                      pcb.park <- None;
+                      pcb.state <- Running;
+                      Effect.Deep.continue k ()
+                    end
+                  in
+                  let cancel reason =
+                    if !armed then begin
+                      armed := false;
+                      Effect.Deep.discontinue k (Process_killed reason)
+                    end
+                  in
+                  pcb.state <- Suspended;
+                  pcb.park <- Some (Park_ivar { cancel });
+                  register ~wake
+                end)
+          | _ -> None);
+    }
+  in
+  Effect.Deep.match_with pcb.body ctx handler
+
+and do_send t pcb ~dest ~tag payload =
+  let predicate =
+    match Fate_registry.normalize t.reg pcb.predicate with
+    | `Live p -> p
+    | `Dead -> pcb.predicate (* the sweep will kill us shortly *)
+  in
+  let msg =
+    Message.make ~sender:pcb.pid ~dest ~predicate ~tag ~seq:pcb.send_seq payload
+  in
+  pcb.send_seq <- pcb.send_seq + 1;
+  tr t (Trace.Sent { msg });
+  let cost = Cost_model.message_cost t.model_ ~bytes:(Message.size_bytes msg) in
+  (* Per-(sender, logical dest) FIFO: never deliver before an earlier send. *)
+  let key = (pcb.pid, dest) in
+  let at =
+    let earliest = t.vnow +. cost in
+    match Hashtbl.find_opt t.channels key with
+    | Some last when last > earliest -> last
+    | _ -> earliest
+  in
+  Hashtbl.replace t.channels key at;
+  schedule t ~at (fun () -> deliver t msg)
+
+and deliver t msg =
+  let copies =
+    match Hashtbl.find_opt t.worlds msg.Message.dest with
+    | Some l -> List.rev !l
+    | None -> [ msg.Message.dest ]
+  in
+  List.iter
+    (fun pid ->
+      match find_pcb t pid with
+      | Some pcb when is_alive pcb ->
+        pcb.mailbox <- pcb.mailbox @ [ msg ];
+        tr t (Trace.Delivered { dest = pid; msg });
+        rescan_parked t pcb
+      | _ -> ())
+    copies
+
+(* ------------------------------------------------------------------ *)
+(* Public spawning / running.                                          *)
+
+let fresh_pids t n = List.init n (fun _ -> Pid.Allocator.fresh t.alloc)
+
+let spawn t ?pid ?parent ?(predicate = Predicate.empty) ?space
+    ?(cloneable = true) ?(oblivious = false) ?(start_delay = 0.)
+    ?(name = "proc") body =
+  let pid = match pid with Some p -> p | None -> Pid.Allocator.fresh t.alloc in
+  (match parent with
+  | Some pp -> Option.iter disable_cloning (find_pcb t pp)
+  | None -> ());
+  let pcb =
+    make_pcb t ~pid ~logical:pid ~parent ~name ~predicate ~space ~cloneable
+      ~oblivious ~body
+  in
+  register_world t pcb;
+  t.live <- t.live + 1;
+  tr t (Trace.Spawned { pid; parent; name });
+  schedule t ~at:(t.vnow +. start_delay) (fun () -> start_pcb t pcb);
+  pid
+
+let on_exit t pid f =
+  match find_pcb t pid with
+  | None -> invalid_arg "Engine.on_exit: unknown pid"
+  | Some pcb -> (
+    match pcb.state with
+    | Dead st -> f st
+    | _ -> pcb.exit_watchers <- f :: pcb.exit_watchers)
+
+let on_resolution t pid f =
+  match find_pcb t pid with
+  | None -> invalid_arg "Engine.on_resolution: unknown pid"
+  | Some pcb -> (
+    match Fate_registry.normalize t.reg pcb.predicate with
+    | `Dead -> f `Dead
+    | `Live p when Predicate.is_certain p && is_alive pcb -> f `Certain
+    | _ -> (
+      match pcb.state with
+      | Dead (Exited_ok) -> pcb.res_watchers <- f :: pcb.res_watchers
+      | Dead _ -> f `Dead
+      | _ -> pcb.res_watchers <- f :: pcb.res_watchers))
+
+let preserve_space t pid =
+  match find_pcb t pid with
+  | None -> invalid_arg "Engine.preserve_space: unknown pid"
+  | Some pcb -> pcb.preserve_space <- true
+
+let after t ~delay thunk = schedule t ~at:(t.vnow +. delay) thunk
+
+let run t =
+  t.stopped <- false;
+  let rec loop () =
+    if not t.stopped then
+      match Event_queue.pop t.events with
+      | None -> ()
+      | Some (time, ev) ->
+        if ev.dead_ev then loop ()
+        else begin
+          t.vnow <- Float.max t.vnow time;
+          t.events_processed <- t.events_processed + 1;
+          ev.run_ev ();
+          loop ()
+        end
+  in
+  loop ()
+
+let run_for t duration =
+  schedule t ~at:(t.vnow +. duration) (fun () -> t.stopped <- true);
+  run t
+
+(* ------------------------------------------------------------------ *)
+(* In-process operations.                                              *)
+
+let self ctx = ctx.pcb.pid
+let engine ctx = ctx.engine
+let now_v _ctx = Effect.perform E_now
+let delay _ctx dt = Effect.perform (E_delay dt)
+let space ctx = ctx.pcb.space
+
+let charge_memory ctx =
+  match ctx.pcb.space with
+  | None -> ()
+  | Some sp ->
+    let c = Address_space.drain_cost sp in
+    if c > 0. then delay ctx c
+
+let send _ctx ?(tag = "") dest payload = Effect.perform (E_send (dest, tag, payload))
+let receive _ctx ?tag () = Effect.perform (E_recv tag)
+
+let receive_timeout _ctx ?tag ~timeout () =
+  Effect.perform (E_recv_timeout (tag, timeout))
+
+let cpu_time_of t pid =
+  match Hashtbl.find_opt t.cpu_used pid with Some r -> !r | None -> 0.
+
+let total_cpu_time t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.cpu_used 0.
+
+let logical_of t pid = Option.map (fun p -> p.logical) (find_pcb t pid)
+let abort _ctx reason = raise (Abort_process reason)
+let random_bits _ctx = Effect.perform E_random
+let my_predicate ctx = ctx.pcb.predicate
+
+let is_certain ctx =
+  match Fate_registry.normalize ctx.engine.reg ctx.pcb.predicate with
+  | `Live p -> Predicate.is_certain p
+  | `Dead -> false
+
+module Ivar = struct
+  type 'a t = { mutable value : 'a option; mutable waiters : (unit -> unit) list }
+
+  let create () = { value = None; waiters = [] }
+
+  let try_fill iv v =
+    match iv.value with
+    | Some _ -> false
+    | None ->
+      iv.value <- Some v;
+      let ws = iv.waiters in
+      iv.waiters <- [];
+      List.iter (fun w -> w ()) ws;
+      true
+
+  let is_filled iv = iv.value <> None
+  let peek iv = iv.value
+
+  let read ctx iv =
+    disable_cloning ctx.pcb;
+    match iv.value with
+    | Some v -> v
+    | None -> (
+      Effect.perform (E_park (fun ~wake -> iv.waiters <- iv.waiters @ [ wake ]));
+      match iv.value with
+      | Some v -> v
+      | None -> assert false)
+
+  let read_timeout ctx iv ~timeout =
+    disable_cloning ctx.pcb;
+    match iv.value with
+    | Some v -> Some v
+    | None ->
+      let eng = ctx.engine in
+      Effect.perform
+        (E_park
+           (fun ~wake ->
+             let ev =
+               schedule_cancellable eng ~at:(eng.vnow +. timeout) (fun () ->
+                   wake ())
+             in
+             (* A fill arriving first retires the pending timeout event so
+                it cannot drag the virtual clock to the deadline. *)
+             iv.waiters <-
+               iv.waiters
+               @ [
+                   (fun () ->
+                     cancel_event ev;
+                     wake ());
+                 ]));
+      iv.value
+end

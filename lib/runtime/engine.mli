@@ -1,0 +1,226 @@
+(** The simulated operating system: process management, virtual time,
+    CPU scheduling, and predicate-aware interprocess communication.
+
+    This is the substrate the paper assumes (section 3.1): independently
+    schedulable processes, reliable FIFO message passing, sink state managed
+    as copy-on-write pages, and a process-management component that
+    interacts with the message layer. Execution is a deterministic
+    discrete-event simulation: program code runs natively, and calls
+    {!delay} to account the virtual CPU time its steps would take.
+
+    {2 Programming model}
+
+    A process body is an OCaml function over a {!ctx}. Inside a body, the
+    operations of this module ({!delay}, {!send}, {!receive}, ...) may be
+    used; they are implemented with effect handlers, so a body suspends and
+    resumes transparently. Outside a body they raise
+    [Effect.Unhandled].
+
+    {2 Multiple worlds}
+
+    Message receipt compares the receiver's predicate with the sender's, as
+    in section 3.4.2 of the paper: implied predicates are accepted,
+    conflicting ones ignored, and a message requiring {e new} assumptions
+    splits the receiver in two. The paper splits with a COW fork; here a
+    clone is produced by {e deterministic replay}: the engine logs every
+    effectful operation of a cloneable process, and the clone re-executes
+    the body consuming the log (performing no side effects and no virtual
+    time), then continues live. A process that has spawned children or read
+    an ivar is not cloneable; a split against a non-cloneable receiver falls
+    back to deferring the message until the sender's fate resolves, which is
+    pessimistic but semantics-preserving. *)
+
+type t
+(** An engine (one simulation). *)
+
+type ctx
+(** A process's view of itself; passed to its body. *)
+
+(** CPU capacity: [Infinite] gives every process its own processor (pure
+    "real concurrency"); [Cores n] shares [n] processors among runnable
+    processes, egalitarian processor-sharing (the paper's "virtual
+    concurrency" through multiprocessing). *)
+type cores = Infinite | Cores of int
+
+(** How a process left the system. *)
+type exit_status =
+  | Exited_ok  (** Body returned: the alternative completed successfully. *)
+  | Exited_failed of string  (** Guard unsatisfied / explicit {!abort}. *)
+  | Crashed of string  (** Body raised an unexpected exception. *)
+  | Eliminated of string  (** Killed: sibling elimination or a dead world. *)
+
+val create :
+  ?cores:cores ->
+  ?model:Cost_model.t ->
+  ?seed:int ->
+  ?trace:bool ->
+  unit ->
+  t
+(** A fresh engine. Default [cores] is [Infinite], default [model] is
+    {!Cost_model.uniform}, default [seed] 42, tracing on. *)
+
+val now : t -> float
+(** Current virtual time (seconds). *)
+
+val model : t -> Cost_model.t
+val frame_store : t -> Frame_store.t
+val trace : t -> Trace.t
+val registry : t -> Fate_registry.t
+
+val fresh_pids : t -> int -> Pid.t list
+(** Pre-allocate pids, so that sibling predicates can be constructed before
+    the siblings are spawned. Pids obtained here must be passed to
+    {!spawn}'s [?pid] exactly once. *)
+
+val spawn :
+  t ->
+  ?pid:Pid.t ->
+  ?parent:Pid.t ->
+  ?predicate:Predicate.t ->
+  ?space:Address_space.t ->
+  ?cloneable:bool ->
+  ?oblivious:bool ->
+  ?start_delay:float ->
+  ?name:string ->
+  (ctx -> unit) ->
+  Pid.t
+(** Create a process. It becomes runnable [start_delay] (default 0) seconds
+    from now. [cloneable] (default true) enables the effect log used for
+    world-splitting; it is disabled automatically if the process spawns or
+    reads an ivar. [oblivious] (default false) marks a kernel-level service
+    (consensus voter, device driver) whose receives bypass predicate
+    matching: it accepts every message and belongs to no world. The engine
+    does not run anything until {!run}. *)
+
+val on_exit : t -> Pid.t -> (exit_status -> unit) -> unit
+(** Register a watcher called (at the process's exit time) when the pid
+    exits. Fires immediately if it already exited. *)
+
+val kill : t -> Pid.t -> reason:string -> unit
+(** Eliminate a process: a parked process is unwound immediately (its
+    [Fun.protect] cleanups run); a runnable or running process is doomed and
+    unwinds at its next operation. Killing a dead pid is a no-op. *)
+
+val alive : t -> Pid.t -> bool
+val status : t -> Pid.t -> exit_status option
+(** [None] while the process is still live (or never existed). *)
+
+val predicate_of : t -> Pid.t -> Predicate.t option
+
+val preserve_space : t -> Pid.t -> unit
+(** Keep the pid's address space alive across its exit, so that a parent can
+    absorb it at rendezvous (the default is to release it). *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule an engine-level action [delay] seconds of virtual time from
+    now (asynchronous sibling elimination uses this: the kill instructions
+    are issued without charging the resuming parent). *)
+
+val run : t -> unit
+(** Run until no events remain. Processes still parked at quiescence (e.g.
+    waiting for messages that will never come) are left suspended; inspect
+    {!parked_pids}. *)
+
+val run_for : t -> float -> unit
+(** Run events up to [now + duration], then stop (remaining events stay
+    queued). *)
+
+val parked_pids : t -> Pid.t list
+(** Processes blocked in {!receive} or {!Ivar.read} right now. *)
+
+val live_count : t -> int
+
+(** {2 Operations usable inside a process body} *)
+
+val self : ctx -> Pid.t
+val engine : ctx -> t
+val now_v : ctx -> float
+(** Current virtual time, recorded in the replay log. *)
+
+val delay : ctx -> float -> unit
+(** Consume [dt] seconds of CPU work. Under [Cores n] contention, the
+    elapsed virtual time may exceed [dt]. *)
+
+val space : ctx -> Address_space.t option
+(** The process's paged address space, if it has one. *)
+
+val charge_memory : ctx -> unit
+(** Drain the address space's pending copy-on-write cost into {!delay}.
+    Memory-heavy bodies should call this after bursts of writes; the [Mem]
+    helpers do it automatically. *)
+
+val send : ctx -> ?tag:string -> Pid.t -> Payload.t -> unit
+(** Reliable FIFO send; stamps the message with the sender's current
+    predicate and charges {!Cost_model.message_cost} latency before
+    delivery. *)
+
+val receive : ctx -> ?tag:string -> unit -> Message.t
+(** Block until a message acceptable under the predicate rules (and matching
+    [tag], if given) arrives. May split the receiver (see module doc). *)
+
+val receive_timeout : ctx -> ?tag:string -> timeout:float -> unit -> Message.t option
+(** Like {!receive} but gives up after [timeout] seconds of virtual time
+    (needed by protocols that must survive silent peers, e.g. majority
+    consensus over crashed voters). *)
+
+val abort : ctx -> string -> 'a
+(** Terminate this process with [Exited_failed]. *)
+
+val random_bits : ctx -> int64
+(** Deterministic per-engine randomness, recorded in the replay log. *)
+
+val my_predicate : ctx -> Predicate.t
+
+val is_certain : ctx -> bool
+(** No unresolved assumptions: this process may touch source devices. *)
+
+(** {2 Write-once cells (the local synchronisation latch)} *)
+
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val try_fill : 'a t -> 'a -> bool
+  (** At-most-once: [true] for the first caller, [false] ("too late") for
+      all later ones. Callable from bodies and from engine callbacks. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+
+  val read : ctx -> 'a t -> 'a
+  (** Block until filled. Disables cloning for the calling process. *)
+
+  val read_timeout : ctx -> 'a t -> timeout:float -> 'a option
+  (** Like {!read} but gives up after [timeout] seconds of virtual time,
+      returning [None]. A fill arriving exactly at the deadline wins. *)
+end
+
+(** {2 Engine-level hooks} *)
+
+val record_fate : t -> Pid.t -> Predicate.fate -> unit
+(** Record a fate explicitly (the alt-block synchroniser uses this when the
+    winner is decided). Normally fates are recorded automatically at process
+    exit; an exit with unresolved assumptions is deferred until they
+    resolve. Triggers the predicate sweep: processes whose assumptions are
+    falsified are eliminated, and resolution callbacks run. *)
+
+val on_resolution : t -> Pid.t -> ([ `Certain | `Dead ] -> unit) -> unit
+(** Call back when the pid's predicate becomes empty ([`Certain]) or its
+    world dies ([`Dead]). Fires immediately if already decided. Used by the
+    source-device layer to flush or discard gated side effects. *)
+
+val stats_events_processed : t -> int
+
+val cpu_time_of : t -> Pid.t -> float
+(** Virtual CPU seconds consumed by the pid so far (its {!delay}s, scaled by
+    actual processor share). The basis of the wasted-work / throughput
+    metrics of section 4.1. *)
+
+val total_cpu_time : t -> float
+(** Sum of {!cpu_time_of} over all processes ever run. *)
+
+val logical_of : t -> Pid.t -> Pid.t option
+(** The logical identity of a physical process: differs from the pid only
+    for world-split clones, which keep the identity of the original
+    receiver. *)

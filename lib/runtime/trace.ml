@@ -1,0 +1,68 @@
+type event =
+  | Spawned of { pid : Pid.t; parent : Pid.t option; name : string }
+  | Started of Pid.t
+  | Exited of { pid : Pid.t; status : string }
+  | Sent of { msg : Message.t }
+  | Delivered of { dest : Pid.t; msg : Message.t }
+  | Accepted of { dest : Pid.t; msg : Message.t }
+  | Ignored of { dest : Pid.t; msg : Message.t; reason : string }
+  | Split of { original : Pid.t; clone : Pid.t; on : Message.t }
+  | Killed of { pid : Pid.t; reason : string }
+  | Fate of { pid : Pid.t; fate : Predicate.fate }
+  | Fate_deferred of Pid.t
+  | Absorbed of { parent : Pid.t; child : Pid.t }
+  | Sync_won of { pid : Pid.t; index : int }
+  | Sync_late of { pid : Pid.t; index : int }
+  | Note of string
+
+type t = { mutable events : (float * event) list; mutable enabled : bool }
+
+let create ?(enabled = true) () = { events = []; enabled }
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let record t ~time e = if t.enabled then t.events <- (time, e) :: t.events
+
+let events t = List.rev t.events
+
+let find_all t ~f = List.filter (fun (_, e) -> f e) (events t)
+let count t ~f = List.length (find_all t ~f)
+let clear t = t.events <- []
+
+let pp_event ppf = function
+  | Spawned { pid; parent; name } ->
+    Format.fprintf ppf "spawn %a%s %s" Pid.pp pid
+      (match parent with
+      | None -> ""
+      | Some p -> Format.asprintf " (parent %a)" Pid.pp p)
+      name
+  | Started pid -> Format.fprintf ppf "start %a" Pid.pp pid
+  | Exited { pid; status } -> Format.fprintf ppf "exit %a: %s" Pid.pp pid status
+  | Sent { msg } -> Format.fprintf ppf "send %a" Message.pp msg
+  | Delivered { dest; msg } ->
+    Format.fprintf ppf "deliver to %a: %a" Pid.pp dest Message.pp msg
+  | Accepted { dest; msg } ->
+    Format.fprintf ppf "accept by %a: %a" Pid.pp dest Message.pp msg
+  | Ignored { dest; msg; reason } ->
+    Format.fprintf ppf "ignore by %a (%s): %a" Pid.pp dest reason Message.pp msg
+  | Split { original; clone; on } ->
+    Format.fprintf ppf "split %a -> clone %a on %a" Pid.pp original Pid.pp clone
+      Message.pp on
+  | Killed { pid; reason } ->
+    Format.fprintf ppf "kill %a (%s)" Pid.pp pid reason
+  | Fate { pid; fate } ->
+    Format.fprintf ppf "fate %a = %s" Pid.pp pid
+      (match fate with Predicate.Completed -> "completed" | Predicate.Failed -> "failed")
+  | Fate_deferred pid -> Format.fprintf ppf "fate deferred for %a" Pid.pp pid
+  | Absorbed { parent; child } ->
+    Format.fprintf ppf "absorb %a <- %a" Pid.pp parent Pid.pp child
+  | Sync_won { pid; index } ->
+    Format.fprintf ppf "sync won by %a (alternative %d)" Pid.pp pid index
+  | Sync_late { pid; index } ->
+    Format.fprintf ppf "sync too late for %a (alternative %d)" Pid.pp pid index
+  | Note s -> Format.fprintf ppf "note: %s" s
+
+let dump ppf t =
+  List.iter
+    (fun (time, e) -> Format.fprintf ppf "[%10.6f] %a@." time pp_event e)
+    (events t)

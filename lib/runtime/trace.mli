@@ -1,0 +1,40 @@
+(** Execution traces.
+
+    The engine records one {!event} per interesting action; tests assert on
+    traces, and the worlds/elimination examples print them. Recording can be
+    disabled for long benchmark runs. *)
+
+type event =
+  | Spawned of { pid : Pid.t; parent : Pid.t option; name : string }
+  | Started of Pid.t
+  | Exited of { pid : Pid.t; status : string }
+  | Sent of { msg : Message.t }
+  | Delivered of { dest : Pid.t; msg : Message.t }
+  | Accepted of { dest : Pid.t; msg : Message.t }
+  | Ignored of { dest : Pid.t; msg : Message.t; reason : string }
+  | Split of { original : Pid.t; clone : Pid.t; on : Message.t }
+  | Killed of { pid : Pid.t; reason : string }
+  | Fate of { pid : Pid.t; fate : Predicate.fate }
+  | Fate_deferred of Pid.t
+  | Absorbed of { parent : Pid.t; child : Pid.t }
+  | Sync_won of { pid : Pid.t; index : int }
+  | Sync_late of { pid : Pid.t; index : int }
+  | Note of string
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> event -> unit
+
+val events : t -> (float * event) list
+(** All recorded events, oldest first. *)
+
+val find_all : t -> f:(event -> bool) -> (float * event) list
+val count : t -> f:(event -> bool) -> int
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+type t = {
+  engine : Engine.t;
+  name_ : string;
+  mutable script : string list;  (* unconsumed input *)
+  read_buffer : (int, string) Hashtbl.t;  (* position -> value, consumed once *)
+  mutable next_pos : int;  (* next script position to materialise *)
+  cursors : (Pid.t, int) Hashtbl.t;  (* logical pid -> next read position *)
+  mutable out : (float * Pid.t * string) list;  (* emitted, newest first *)
+  buffers : (Pid.t, string list ref) Hashtbl.t;  (* speculative writes, newest first *)
+  gated : (Pid.t, unit) Hashtbl.t;  (* pids with a resolution watcher armed *)
+  mutable discarded_ : int;
+}
+
+let create engine ~name =
+  {
+    engine;
+    name_ = name;
+    script = [];
+    read_buffer = Hashtbl.create 16;
+    next_pos = 0;
+    cursors = Hashtbl.create 16;
+    out = [];
+    buffers = Hashtbl.create 16;
+    gated = Hashtbl.create 16;
+    discarded_ = 0;
+  }
+
+let name t = t.name_
+
+let emit t pid line = t.out <- (Engine.now t.engine, pid, line) :: t.out
+
+let flush_pid t pid =
+  match Hashtbl.find_opt t.buffers pid with
+  | None -> ()
+  | Some lines ->
+    List.iter (emit t pid) (List.rev !lines);
+    Hashtbl.remove t.buffers pid
+
+let discard_pid t pid =
+  match Hashtbl.find_opt t.buffers pid with
+  | None -> ()
+  | Some lines ->
+    t.discarded_ <- t.discarded_ + List.length !lines;
+    Hashtbl.remove t.buffers pid
+
+let write ctx t line =
+  let pid = Engine.self ctx in
+  if Engine.is_certain ctx then begin
+    (* Anything buffered earlier must precede this line. *)
+    flush_pid t pid;
+    emit t pid line
+  end
+  else begin
+    (match Hashtbl.find_opt t.buffers pid with
+    | Some lines -> lines := line :: !lines
+    | None -> Hashtbl.replace t.buffers pid (ref [ line ]));
+    if not (Hashtbl.mem t.gated pid) then begin
+      Hashtbl.replace t.gated pid ();
+      Engine.on_resolution (Engine.engine ctx) pid (function
+        | `Certain -> flush_pid t pid
+        | `Dead -> discard_pid t pid)
+    end
+  end
+
+let read ctx t =
+  let eng = Engine.engine ctx in
+  let pid = Engine.self ctx in
+  let logical = Option.value ~default:pid (Engine.logical_of eng pid) in
+  let pos = Option.value ~default:0 (Hashtbl.find_opt t.cursors logical) in
+  let value =
+    match Hashtbl.find_opt t.read_buffer pos with
+    | Some v -> v
+    | None -> (
+      (* Consume the script exactly once for this position. *)
+      match t.script with
+      | [] -> raise End_of_file
+      | v :: rest ->
+        t.script <- rest;
+        assert (pos = t.next_pos);
+        Hashtbl.replace t.read_buffer pos v;
+        t.next_pos <- t.next_pos + 1;
+        v)
+  in
+  Hashtbl.replace t.cursors logical (pos + 1);
+  value
+
+let feed t lines = t.script <- t.script @ lines
+
+let output t = List.rev t.out
+
+let pending t =
+  Hashtbl.fold (fun pid lines acc -> (pid, List.rev !lines) :: acc) t.buffers []
+  |> List.sort (fun (a, _) (b, _) -> Pid.compare a b)
+
+let discarded t = t.discarded_

@@ -1,0 +1,48 @@
+(** Source devices: non-idempotent state.
+
+    The paper divides system state by idempotence (section 3.1): operations
+    on {e sink} state (pages) can be retried invisibly, while operations on
+    {e sources} — "for definiteness, consider ... a teletype device" —
+    cannot. "While a process has predicates which are unsatisfied, it is
+    restricted from causing observable side-effects, and thus cannot
+    interface with sources" (section 3.4.2).
+
+    This module enforces that rule:
+
+    - a {!write} by a {e certain} process is emitted immediately;
+    - a write by a speculative process is buffered, and flushed in order
+      when the process's predicates resolve in its favour, or discarded
+      when its world dies — so losing alternatives leave no trace;
+    - a {!read} consumes the device's input script {e once} per position
+      and buffers the value, so re-reads by replayed world-clones observe
+      the same datum ("idempotency of some source state can be forced
+      through buffering", section 6). *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+val name : t -> string
+
+val write : Engine.ctx -> t -> string -> unit
+(** Emit [line] on the device, subject to predicate gating as described
+    above. Buffered lines of one process flush atomically and in order. *)
+
+val read : Engine.ctx -> t -> string
+(** Read the next input line for this process. Each process (identified by
+    its {e logical} pid, so world-clones share a history) has its own
+    cursor; positions already consumed from the script are served from the
+    idempotence buffer. Raises [End_of_file] when the script is
+    exhausted. *)
+
+val feed : t -> string list -> unit
+(** Append lines to the device's input script. *)
+
+val output : t -> (float * Pid.t * string) list
+(** Lines actually emitted, oldest first, with emission time and the
+    process that (eventually) owned them. *)
+
+val pending : t -> (Pid.t * string list) list
+(** Buffered lines of still-speculative writers. *)
+
+val discarded : t -> int
+(** Number of buffered lines dropped because their writer's world died. *)

@@ -1,0 +1,259 @@
+(* Unit and property tests for alt_base: pids, PRNG, statistics. *)
+
+let check = Alcotest.check
+let cf = Alcotest.float 1e-9
+
+(* ---------------- Pid ---------------- *)
+
+let test_allocator_monotone () =
+  let a = Pid.Allocator.create () in
+  let p0 = Pid.Allocator.fresh a in
+  let p1 = Pid.Allocator.fresh a in
+  let p2 = Pid.Allocator.fresh a in
+  check Alcotest.int "first pid is 0" 0 (Pid.to_int p0);
+  check Alcotest.int "second pid is 1" 1 (Pid.to_int p1);
+  check Alcotest.int "third pid is 2" 2 (Pid.to_int p2);
+  check Alcotest.int "allocated count" 3 (Pid.Allocator.allocated a)
+
+let test_allocator_first () =
+  let a = Pid.Allocator.create ~first:10 () in
+  check Alcotest.int "starts at 10" 10 (Pid.to_int (Pid.Allocator.fresh a));
+  check Alcotest.int "one allocated" 1 (Pid.Allocator.allocated a)
+
+let test_pid_order_and_equality () =
+  let p = Pid.of_int 3 and q = Pid.of_int 5 in
+  check Alcotest.bool "equal self" true (Pid.equal p p);
+  check Alcotest.bool "not equal" false (Pid.equal p q);
+  check Alcotest.bool "compare" true (Pid.compare p q < 0);
+  check Alcotest.string "to_string" "P3" (Pid.to_string p)
+
+let test_pid_set_map () =
+  let open Pid in
+  let s = Set.of_list [ of_int 2; of_int 1; of_int 2 ] in
+  check Alcotest.int "set dedups" 2 (Set.cardinal s);
+  let m = Map.add (of_int 1) "a" Map.empty in
+  check Alcotest.(option string) "map find" (Some "a") (Map.find_opt (of_int 1) m)
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  check Alcotest.bool "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copies agree" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  (* The split stream must differ from the parent's continued stream. *)
+  check Alcotest.bool "split differs" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of bounds"
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.fail "Rng.float out of range"
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=1 always true" true (Rng.bernoulli r ~p:1.0);
+    check Alcotest.bool "p=0 always false" false (Rng.bernoulli r ~p:0.0)
+  done
+
+let test_rng_bernoulli_frequency () =
+  let r = Rng.create ~seed:5 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "frequency near 0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:9 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Rng.exponential r ~mean:2.0 in
+    if v < 0. then Alcotest.fail "exponential negative";
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "sample mean near 2.0" true (Float.abs (mean -. 2.0) < 0.1)
+
+let test_rng_uniform_in () =
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform_in r ~lo:(-1.) ~hi:1. in
+    if v < -1. || v >= 1. then Alcotest.fail "uniform_in out of range"
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:21 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick () =
+  let r = Rng.create ~seed:2 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick r a in
+    if not (Array.mem v a) then Alcotest.fail "pick outside array"
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick r [||]))
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_mean_variance () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check cf "mean" 2.5 (Stats.mean xs);
+  check cf "variance" 1.25 (Stats.variance xs);
+  check cf "stddev" (sqrt 1.25) (Stats.stddev xs);
+  check cf "sum" 10. (Stats.sum xs)
+
+let test_stats_single () =
+  let xs = [| 42. |] in
+  check cf "mean" 42. (Stats.mean xs);
+  check cf "variance" 0. (Stats.variance xs);
+  check cf "median" 42. (Stats.median xs)
+
+let test_stats_min_max () =
+  let xs = [| 3.; -1.; 7.; 0. |] in
+  check cf "min" (-1.) (Stats.min xs);
+  check cf "max" 7. (Stats.max xs)
+
+let test_stats_percentiles () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  check cf "p0 = min" 1. (Stats.percentile xs ~p:0.);
+  check cf "p100 = max" 4. (Stats.percentile xs ~p:100.);
+  check cf "median interpolated" 2.5 (Stats.median xs);
+  check cf "p25" 1.75 (Stats.percentile xs ~p:25.)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats: empty sample")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_percentile_range () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1. |] ~p:101.))
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  check Alcotest.int "n" 3 s.Stats.n;
+  check cf "mean" 2. s.Stats.mean;
+  check cf "min" 1. s.Stats.min;
+  check cf "max" 3. s.Stats.max;
+  check cf "median" 2. s.Stats.median;
+  let str = Format.asprintf "%a" Stats.pp_summary s in
+  check Alcotest.bool "pp mentions n" true
+    (String.length str > 0 && String.sub str 0 3 = "n=3")
+
+(* ---------------- properties ---------------- *)
+
+let nonempty_floats =
+  QCheck.(array_of_size Gen.(int_range 1 40) (float_range (-1000.) 1000.))
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:500
+    nonempty_floats (fun xs ->
+      let m = Stats.mean xs in
+      Stats.min xs <= m +. 1e-9 && m <= Stats.max xs +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:500 nonempty_floats
+    (fun xs -> Stats.variance xs >= -1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(pair nonempty_floats (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi +. 1e-9)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves elements" ~count:300
+    QCheck.(pair small_int (array small_int))
+    (fun (seed, a) ->
+      let r = Rng.create ~seed in
+      let b = Array.copy a in
+      Rng.shuffle r b;
+      let sa = Array.copy a and sb = Array.copy b in
+      Array.sort compare sa;
+      Array.sort compare sb;
+      sa = sb)
+
+let () =
+  Alcotest.run "base"
+    [
+      ( "pid",
+        [
+          Alcotest.test_case "allocator is monotone" `Quick test_allocator_monotone;
+          Alcotest.test_case "allocator custom start" `Quick test_allocator_first;
+          Alcotest.test_case "order and equality" `Quick test_pid_order_and_equality;
+          Alcotest.test_case "set and map" `Quick test_pid_set_map;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy duplicates state" `Quick test_rng_copy;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_independent;
+          Alcotest.test_case "int stays in bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float stays in range" `Quick test_rng_float_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli frequency" `Slow test_rng_bernoulli_frequency;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "uniform_in range" `Quick test_rng_uniform_in;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick membership" `Quick test_rng_pick;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance/stddev/sum" `Quick test_stats_mean_variance;
+          Alcotest.test_case "single sample" `Quick test_stats_single;
+          Alcotest.test_case "min and max" `Quick test_stats_min_max;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "percentile range check" `Quick test_stats_percentile_range;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mean_bounded;
+            prop_variance_nonneg;
+            prop_percentile_monotone;
+            prop_shuffle_preserves_multiset;
+          ] );
+    ]

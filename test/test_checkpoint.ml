@@ -1,0 +1,128 @@
+(* Tests for checkpoint/restart of address spaces (the rfork substrate). *)
+
+let check = Alcotest.check
+
+let model = Cost_model.uniform ~page_size:256 ()
+
+let mk_space () =
+  Address_space.create (Frame_store.create ~page_size:256) model
+
+let test_roundtrip_contents () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 42;
+  Address_space.set_string sp ~addr:1000 "checkpointed";
+  Address_space.set_float sp ~addr:5000 2.5;
+  let image = Checkpoint.capture sp in
+  let sp' = Checkpoint.restore (Frame_store.create ~page_size:256) model image in
+  check Alcotest.int "int survives" 42 (Address_space.get_int sp' ~addr:0);
+  check Alcotest.string "string survives" "checkpointed"
+    (Address_space.get_string sp' ~addr:1000 ~len:12);
+  check (Alcotest.float 1e-9) "float survives" 2.5
+    (Address_space.get_float sp' ~addr:5000);
+  check Alcotest.bool "maps identical" true
+    (Page_map.snapshot_equal (Address_space.map sp) (Address_space.map sp'))
+
+let test_capture_does_not_disturb () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 1;
+  let before = Address_space.cow_copies sp in
+  ignore (Checkpoint.capture sp);
+  check Alcotest.int "no copies made" before (Address_space.cow_copies sp);
+  check Alcotest.int "value intact" 1 (Address_space.get_int sp ~addr:0)
+
+let test_restored_space_is_private () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 7;
+  let image = Checkpoint.capture sp in
+  let store' = Frame_store.create ~page_size:256 in
+  let sp' = Checkpoint.restore store' model image in
+  Address_space.set_int sp' ~addr:0 8;
+  check Alcotest.int "original unaffected" 7 (Address_space.get_int sp ~addr:0);
+  check Alcotest.int "restored updated" 8 (Address_space.get_int sp' ~addr:0)
+
+let test_sparse_pages_preserved () =
+  let sp = mk_space () in
+  Address_space.set_u8 sp ~addr:0 1;
+  Address_space.set_u8 sp ~addr:(100 * 256) 2;
+  let image = Checkpoint.capture sp in
+  check Alcotest.int "two mapped pages" 2 (Checkpoint.mapped_pages image);
+  let sp' = Checkpoint.restore (Frame_store.create ~page_size:256) model image in
+  check Alcotest.int "sparse page restored" 2
+    (Address_space.get_u8 sp' ~addr:(100 * 256));
+  check Alcotest.int "unmapped reads zero" 0 (Address_space.get_u8 sp' ~addr:256)
+
+let test_bytes_roundtrip () =
+  let sp = mk_space () in
+  Address_space.set_string sp ~addr:10 "wire format";
+  let image = Checkpoint.capture sp in
+  let b = Checkpoint.to_bytes image in
+  check Alcotest.int "wire size" (Checkpoint.size_bytes image) (Bytes.length b);
+  let image' = Checkpoint.of_bytes b in
+  check Alcotest.int "pages preserved" (Checkpoint.mapped_pages image)
+    (Checkpoint.mapped_pages image');
+  let sp' = Checkpoint.restore (Frame_store.create ~page_size:256) model image' in
+  check Alcotest.string "contents preserved over the wire" "wire format"
+    (Address_space.get_string sp' ~addr:10 ~len:11)
+
+let test_of_bytes_rejects_garbage () =
+  Alcotest.check_raises "short input"
+    (Invalid_argument "Checkpoint.of_bytes: malformed image") (fun () ->
+      ignore (Checkpoint.of_bytes (Bytes.create 3)));
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 1;
+  let b = Checkpoint.to_bytes (Checkpoint.capture sp) in
+  let truncated = Bytes.sub b 0 (Bytes.length b - 1) in
+  Alcotest.check_raises "truncated input"
+    (Invalid_argument "Checkpoint.of_bytes: malformed image") (fun () ->
+      ignore (Checkpoint.of_bytes truncated))
+
+let test_restore_page_size_mismatch () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 1;
+  let image = Checkpoint.capture sp in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Checkpoint.restore: page size mismatch") (fun () ->
+      ignore
+        (Checkpoint.restore (Frame_store.create ~page_size:512)
+           (Cost_model.uniform ~page_size:512 ())
+           image))
+
+let test_transfer_cost_calibration () =
+  (* The 70K rfork of E5: 18 pages of 4K under the LAN profile. *)
+  let m = Cost_model.distributed_lan in
+  let store = Frame_store.create ~page_size:m.Cost_model.page_size in
+  let sp = Address_space.create ~size_hint:(70 * 1024) store m in
+  let image = Checkpoint.capture sp in
+  check Alcotest.int "18 pages" 18 (Checkpoint.mapped_pages image);
+  check Alcotest.bool "transfer ~1.0 s" true
+    (Float.abs (Checkpoint.transfer_cost m image -. 1.0) < 0.01)
+
+let prop_capture_restore_identity =
+  QCheck.Test.make ~name:"capture/restore preserves every written byte"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_bound 5000) (int_bound 255)))
+    (fun writes ->
+      let sp = mk_space () in
+      List.iter (fun (addr, v) -> Address_space.set_u8 sp ~addr v) writes;
+      let image = Checkpoint.of_bytes (Checkpoint.to_bytes (Checkpoint.capture sp)) in
+      let sp' = Checkpoint.restore (Frame_store.create ~page_size:256) model image in
+      Page_map.snapshot_equal (Address_space.map sp) (Address_space.map sp'))
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip contents" `Quick test_roundtrip_contents;
+          Alcotest.test_case "capture is read-only" `Quick test_capture_does_not_disturb;
+          Alcotest.test_case "restored space is private" `Quick
+            test_restored_space_is_private;
+          Alcotest.test_case "sparse pages" `Quick test_sparse_pages_preserved;
+          Alcotest.test_case "wire roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_of_bytes_rejects_garbage;
+          Alcotest.test_case "page size mismatch" `Quick test_restore_page_size_mismatch;
+          Alcotest.test_case "transfer cost calibration" `Quick
+            test_transfer_cost_calibration;
+          QCheck_alcotest.to_alcotest prop_capture_restore_identity;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the majority-consensus 0-1 semaphore (section 3.2.1). *)
+
+let check = Alcotest.check
+
+let mk () = Engine.create ~trace:false ~model:Cost_model.hp_9000_350 ()
+
+let test_create_validations () =
+  let eng = mk () in
+  Alcotest.check_raises "nodes >= 1"
+    (Invalid_argument "Majority.create: nodes must be >= 1") (fun () ->
+      ignore (Majority.create eng ~nodes:0 ()));
+  let m = Majority.create eng ~nodes:5 () in
+  check Alcotest.int "nodes" 5 (Majority.nodes m);
+  check Alcotest.int "majority of 5 is 3" 3 (Majority.majority m);
+  check Alcotest.int "pids spawned" 5 (List.length (Majority.node_pids m));
+  let m1 = Majority.create eng ~nodes:1 () in
+  check Alcotest.int "majority of 1 is 1" 1 (Majority.majority m1)
+
+let test_single_requester_acquires () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  let got = ref false in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         got := Majority.acquire ctx m ~reply_timeout:1.;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.bool "acquired" true !got
+
+let test_exclusive_between_two () =
+  (* Whatever the interleaving, at most one of two competing requesters may
+     win. Stagger the second one across several offsets. *)
+  List.iter
+    (fun offset ->
+      let eng = mk () in
+      let m = Majority.create eng ~nodes:3 () in
+      let r1 = ref None and r2 = ref None in
+      ignore
+        (Engine.spawn eng (fun ctx ->
+             r1 := Some (Majority.acquire ctx m ~reply_timeout:1.)));
+      ignore
+        (Engine.spawn eng ~start_delay:offset (fun ctx ->
+             r2 := Some (Majority.acquire ctx m ~reply_timeout:1.)));
+      Engine.run eng;
+      match (!r1, !r2) with
+      | Some a, Some b ->
+        if a && b then Alcotest.failf "both won at offset %g" offset;
+        if not (a || b) then Alcotest.failf "nobody won at offset %g" offset
+      | _ -> Alcotest.fail "requester never finished")
+    [ 0.; 0.001; 0.004; 0.01; 0.5 ]
+
+let test_survives_minority_crash () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:5 ~crashed:[ 0; 4 ] () in
+  let got = ref false in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         got := Majority.acquire ctx m ~reply_timeout:0.5;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.bool "2 of 5 crashed: still acquirable" true !got
+
+let test_majority_crash_blocks_all () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:5 ~crashed:[ 0; 1; 2 ] () in
+  let got = ref true in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         got := Majority.acquire ctx m ~reply_timeout:0.2;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.bool "3 of 5 crashed: unacquirable" false !got
+
+let test_reacquire_idempotent () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  let seq = ref [] in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         seq := Majority.acquire ctx m ~reply_timeout:1. :: !seq;
+         seq := Majority.acquire ctx m ~reply_timeout:1. :: !seq;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.(list bool) "both acquisitions granted" [ true; true ] !seq
+
+let test_owner_visible () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  let winner = ref None in
+  let pid =
+    Engine.spawn eng (fun ctx ->
+        if Majority.acquire ctx m ~reply_timeout:1. then
+          winner := Some (Engine.self ctx);
+        Majority.shutdown m)
+  in
+  Engine.run eng;
+  check Alcotest.bool "owner matches winner" true
+    (Majority.owner m = Some pid && !winner = Some pid)
+
+let test_message_accounting () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         ignore (Majority.acquire ctx m ~reply_timeout:1.);
+         Majority.shutdown m));
+  Engine.run eng;
+  (* 3 requests + 3 replies handled by live voters. *)
+  check Alcotest.int "six protocol messages" 6 (Majority.messages_sent m)
+
+let test_vote_delay_slows_acquire () =
+  let run_with delay =
+    let eng = mk () in
+    let m = Majority.create eng ~nodes:3 ~vote_delay:delay () in
+    let t = ref 0. in
+    ignore
+      (Engine.spawn eng (fun ctx ->
+           ignore (Majority.acquire ctx m ~reply_timeout:5.);
+           t := Engine.now_v ctx;
+           Majority.shutdown m));
+    Engine.run eng;
+    !t
+  in
+  check Alcotest.bool "vote processing delays acquisition" true
+    (run_with 0.05 > run_with 0. +. 0.04)
+
+let test_speculative_requesters_do_not_split_voters () =
+  (* The voters are oblivious: requests from speculative alternatives (with
+     non-trivial predicates) must not spawn voter worlds. *)
+  let eng = Engine.create ~trace:true ~model:Cost_model.hp_9000_350 () in
+  let m = Majority.create eng ~nodes:3 () in
+  let pids = Engine.fresh_pids eng 2 in
+  let a = List.nth pids 0 and b = List.nth pids 1 in
+  let wins = ref 0 in
+  let spawn_child pid other =
+    ignore
+      (Engine.spawn eng ~pid
+         ~predicate:
+           (Predicate.make ~must_complete:[ pid ] ~must_fail:[ other ])
+         (fun ctx ->
+           if Majority.acquire ctx m ~reply_timeout:1. then incr wins))
+  in
+  spawn_child a b;
+  spawn_child b a;
+  Engine.run eng;
+  check Alcotest.int "exactly one winner" 1 !wins;
+  check Alcotest.int "no voter splits" 0
+    (Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Split _ -> true
+      | _ -> false))
+
+let () =
+  Alcotest.run "consensus"
+    [
+      ( "majority",
+        [
+          Alcotest.test_case "creation and arithmetic" `Quick test_create_validations;
+          Alcotest.test_case "single requester acquires" `Quick test_single_requester_acquires;
+          Alcotest.test_case "mutual exclusion" `Quick test_exclusive_between_two;
+          Alcotest.test_case "survives minority crash" `Quick test_survives_minority_crash;
+          Alcotest.test_case "majority crash blocks all" `Quick test_majority_crash_blocks_all;
+          Alcotest.test_case "reacquire is idempotent" `Quick test_reacquire_idempotent;
+          Alcotest.test_case "owner visible" `Quick test_owner_visible;
+          Alcotest.test_case "message accounting" `Quick test_message_accounting;
+          Alcotest.test_case "vote delay" `Quick test_vote_delay_slows_acquire;
+          Alcotest.test_case "speculative requesters, oblivious voters" `Quick
+            test_speculative_requesters_do_not_split_voters;
+        ] );
+    ]

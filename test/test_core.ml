@@ -1,0 +1,646 @@
+(* Tests for the paper's contribution: the analytic model, the sequential
+   alternative-block semantics, the transparent concurrent execution, and
+   the scheme comparison. *)
+
+let check = Alcotest.check
+let cf = Alcotest.float 1e-9
+
+(* ---------------- Analytic ---------------- *)
+
+let test_pi_basic () =
+  check cf "pi" 2.0 (Analytic.pi ~times:[| 10.; 20.; 30. |] ~overhead:0.);
+  check Alcotest.bool "wins" true (Analytic.wins ~times:[| 10.; 20.; 30. |] ~overhead:0.);
+  check Alcotest.bool "loses with equal times" false
+    (Analytic.wins ~times:[| 10.; 10. |] ~overhead:1.)
+
+let test_pi_validations () =
+  Alcotest.check_raises "empty" (Invalid_argument "Analytic.pi: no alternatives")
+    (fun () -> ignore (Analytic.pi ~times:[||] ~overhead:0.));
+  Alcotest.check_raises "negative overhead"
+    (Invalid_argument "Analytic.pi: negative overhead") (fun () ->
+      ignore (Analytic.pi ~times:[| 1. |] ~overhead:(-1.)))
+
+let test_break_even () =
+  check cf "mean - best" 10. (Analytic.break_even_overhead ~times:[| 10.; 20.; 30. |]);
+  check cf "zero dispersion" 0. (Analytic.break_even_overhead ~times:[| 5.; 5. |])
+
+let test_overhead_total () =
+  let o = { Analytic.setup = 1.; runtime = 2.; selection = 3. } in
+  check cf "sum" 6. (Analytic.overhead_total o);
+  check cf "zero" 0. (Analytic.overhead_total Analytic.zero_overhead)
+
+(* The table of section 4.3 — the recomputed PI must match the paper's
+   printed values to their printed precision. *)
+let test_table_4_3_matches_paper () =
+  let rows = Analytic.table_4_3 () in
+  check Alcotest.int "six rows" 6 (List.length rows);
+  List.iter
+    (fun (r : Analytic.row) ->
+      let printed_precision =
+        (* The paper prints two significant decimals for most rows. *)
+        Float.abs (r.Analytic.pi_value -. r.Analytic.pi_paper)
+      in
+      if printed_precision > 0.005 then
+        Alcotest.failf "row %s: recomputed %.4f vs paper %.2f" r.Analytic.label
+          r.Analytic.pi_value r.Analytic.pi_paper)
+    rows
+
+let prop_pi_formula =
+  QCheck.Test.make ~name:"PI = mean / (best + overhead)" ~count:300
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 10) (float_range 0.1 1000.))
+        (float_range 0. 100.))
+    (fun (times, overhead) ->
+      let pi = Analytic.pi ~times ~overhead in
+      Float.abs (pi -. (Stats.mean times /. (Stats.min times +. overhead)))
+      < 1e-9)
+
+let prop_pi_antitone_in_overhead =
+  QCheck.Test.make ~name:"PI decreases with overhead" ~count:300
+    QCheck.(array_of_size Gen.(int_range 1 10) (float_range 0.1 1000.))
+    (fun times ->
+      Analytic.pi ~times ~overhead:1. >= Analytic.pi ~times ~overhead:2.)
+
+(* ---------------- helpers ---------------- *)
+
+let mk_engine ?(cores = Engine.Infinite) ?(model = Cost_model.uniform ()) () =
+  Engine.create ~cores ~model ~trace:false ()
+
+(* Run a function inside a root simulated process and return its result. *)
+let in_process ?space eng f =
+  let result = ref None in
+  let pid =
+    Engine.spawn eng ?space ~cloneable:false ~name:"test-root" (fun ctx ->
+        result := Some (f ctx))
+  in
+  if Option.is_some space then Engine.preserve_space eng pid;
+  Engine.run eng;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "process did not complete"
+
+let with_heap eng f =
+  let model = Engine.model eng in
+  let space = Address_space.create (Engine.frame_store eng) model in
+  let heap = Heap.create space in
+  f space heap
+
+(* ---------------- Alt_block (sequential semantics) ---------------- *)
+
+let test_run_first_picks_first_success () =
+  let eng = mk_engine () in
+  let alts =
+    [
+      Alternative.failing ~cost:1. ();
+      Alternative.fixed ~cost:1. "second";
+      Alternative.fixed ~cost:1. "third";
+    ]
+  in
+  match in_process eng (fun ctx -> Alt_block.run_first ctx alts) with
+  | Alt_block.Selected { index; value } ->
+    check Alcotest.int "index 1" 1 index;
+    check Alcotest.string "value" "second" value
+  | Alt_block.Block_failed _ -> Alcotest.fail "should have selected"
+
+let test_run_first_all_fail () =
+  let eng = mk_engine () in
+  let alts = [ Alternative.failing ~cost:1. (); Alternative.failing ~cost:1. () ] in
+  match in_process eng (fun ctx -> Alt_block.run_first ctx alts) with
+  | Alt_block.Block_failed _ -> ()
+  | Alt_block.Selected _ -> Alcotest.fail "should have failed"
+
+let test_run_first_guard_skips () =
+  let eng = mk_engine () in
+  let alts =
+    [
+      Alternative.make ~guard:(fun _ -> false) (fun _ -> "guarded");
+      Alternative.make (fun _ -> "open");
+    ]
+  in
+  match in_process eng (fun ctx -> Alt_block.run_first ctx alts) with
+  | Alt_block.Selected { index; value } ->
+    check Alcotest.int "skipped closed guard" 1 index;
+    check Alcotest.string "value" "open" value
+  | Alt_block.Block_failed _ -> Alcotest.fail "should have selected"
+
+let test_sequential_rollback_restores_memory () =
+  let eng = mk_engine () in
+  with_heap eng (fun space heap ->
+      let cell = Heap.int_cell heap 100 in
+      let alts =
+        [
+          Alternative.make (fun ctx ->
+              Mem.set ctx cell 999;
+              (* Fail after the write: it must be rolled back. *)
+              raise (Alternative.Failed "after write"));
+          Alternative.make (fun ctx ->
+              check Alcotest.int "second trial sees pristine state" 100
+                (Mem.get ctx cell);
+              Mem.set ctx cell 200;
+              "done");
+        ]
+      in
+      match in_process ~space eng (fun ctx -> Alt_block.run_first ctx alts) with
+      | Alt_block.Selected { value = "done"; _ } ->
+        check Alcotest.int "committed value" 200
+          (Address_space.get_int space ~addr:(Heap.cell_addr cell))
+      | _ -> Alcotest.fail "unexpected outcome")
+
+let test_sequential_rollback_on_total_failure () =
+  let eng = mk_engine () in
+  with_heap eng (fun space heap ->
+      let cell = Heap.int_cell heap 1 in
+      let alts =
+        [
+          Alternative.make (fun ctx ->
+              Mem.set ctx cell 2;
+              raise (Alternative.Failed "x"));
+        ]
+      in
+      (match in_process ~space eng (fun ctx -> Alt_block.run_first ctx alts) with
+      | Alt_block.Block_failed _ -> ()
+      | _ -> Alcotest.fail "expected failure");
+      check Alcotest.int "state restored" 1
+        (Address_space.get_int space ~addr:(Heap.cell_addr cell)))
+
+let test_run_random_is_seed_deterministic () =
+  let run seed =
+    let eng = mk_engine () in
+    let rng = Rng.create ~seed in
+    let alts = List.init 5 (fun i -> Alternative.fixed ~cost:1. i) in
+    in_process eng (fun ctx -> Alt_block.run_random ctx ~rng alts)
+  in
+  check Alcotest.bool "same seed, same choice" true (run 5 = run 5)
+
+let test_run_random_commits_to_failure () =
+  let eng = mk_engine () in
+  let rng = Rng.create ~seed:1 in
+  let alts = [ Alternative.failing ~cost:1. () ] in
+  match in_process eng (fun ctx -> Alt_block.run_random ctx ~rng alts) with
+  | Alt_block.Block_failed _ -> ()
+  | Alt_block.Selected _ -> Alcotest.fail "lone failing alternative must fail"
+
+let test_run_oracle () =
+  let eng = mk_engine () in
+  let alts = [ Alternative.fixed ~cost:5. "slow"; Alternative.fixed ~cost:1. "fast" ] in
+  let elapsed = ref 0. in
+  let outcome =
+    in_process eng (fun ctx ->
+        let t0 = Engine.now_v ctx in
+        let o = Alt_block.run_oracle ctx ~costs:[| 5.; 1. |] alts in
+        elapsed := Engine.now_v ctx -. t0;
+        o)
+  in
+  (match outcome with
+  | Alt_block.Selected { index = 1; value = "fast" } -> ()
+  | _ -> Alcotest.fail "oracle must pick the cheapest");
+  check cf "oracle pays only the best time" 1. !elapsed
+
+(* ---------------- Concurrent ---------------- *)
+
+let test_concurrent_fastest_wins () =
+  let eng = mk_engine () in
+  let r =
+    Concurrent.run_toplevel eng
+      [
+        Alternative.fixed ~cost:3. "slow";
+        Alternative.fixed ~cost:1. "fast";
+        Alternative.fixed ~cost:2. "mid";
+      ]
+  in
+  (match r.Concurrent.outcome with
+  | Alt_block.Selected { index = 1; value = "fast" } -> ()
+  | _ -> Alcotest.fail "fastest must win");
+  check cf "elapsed = best time (zero overhead model)" 1. r.Concurrent.elapsed;
+  check Alcotest.int "three children" 3 (List.length r.Concurrent.children);
+  check cf "losers burnt 1s each" 2. r.Concurrent.wasted_cpu
+
+let test_concurrent_guard_excludes () =
+  let eng = mk_engine () in
+  let r =
+    Concurrent.run_toplevel eng
+      [
+        Alternative.make ~guard:(fun _ -> false) (fun ctx ->
+            Engine.delay ctx 0.1;
+            "closed but fast");
+        Alternative.fixed ~cost:5. "open";
+      ]
+  in
+  match r.Concurrent.outcome with
+  | Alt_block.Selected { index = 1; _ } -> ()
+  | _ -> Alcotest.fail "closed guard must not win"
+
+let test_concurrent_all_fail () =
+  let eng = mk_engine () in
+  let r =
+    Concurrent.run_toplevel eng
+      [ Alternative.failing ~cost:1. (); Alternative.failing ~cost:2. () ]
+  in
+  (match r.Concurrent.outcome with
+  | Alt_block.Block_failed _ -> ()
+  | _ -> Alcotest.fail "must fail");
+  (* The FAIL branch is known as soon as the last alternative fails. *)
+  check cf "failure known at 2s" 2. r.Concurrent.elapsed
+
+let test_concurrent_timeout () =
+  let eng = mk_engine () in
+  let policy = { Concurrent.default_policy with timeout = 0.5 } in
+  let r = Concurrent.run_toplevel eng ~policy [ Alternative.fixed ~cost:100. 0 ] in
+  (match r.Concurrent.outcome with
+  | Alt_block.Block_failed "timeout" -> ()
+  | _ -> Alcotest.fail "must time out");
+  check cf "at the deadline" 0.5 r.Concurrent.elapsed;
+  check Alcotest.int "no survivors" 0 (Engine.live_count eng)
+
+let test_concurrent_crashing_alternative_is_failure () =
+  let eng = mk_engine () in
+  let r =
+    Concurrent.run_toplevel eng
+      [
+        Alternative.make (fun _ -> failwith "unexpected bug");
+        Alternative.fixed ~cost:1. "ok";
+      ]
+  in
+  match r.Concurrent.outcome with
+  | Alt_block.Selected { value = "ok"; _ } -> ()
+  | _ -> Alcotest.fail "crash must not poison the block"
+
+let test_concurrent_absorbs_winner_memory () =
+  let eng = mk_engine () in
+  let model = Engine.model eng in
+  let space = Address_space.create (Engine.frame_store eng) model in
+  let heap = Heap.create space in
+  let cell = Heap.int_cell heap 0 in
+  let mark value cost =
+    Alternative.make (fun ctx ->
+        Mem.set ctx cell value;
+        Engine.delay ctx cost;
+        value)
+  in
+  let r = Concurrent.run_toplevel eng ~space [ mark 111 2.; mark 222 1. ] in
+  (match r.Concurrent.outcome with
+  | Alt_block.Selected { value = 222; _ } -> ()
+  | _ -> Alcotest.fail "fast marker must win");
+  (* The parent's view must show exactly the winner's state change. *)
+  check Alcotest.int "winner's write absorbed" 222
+    (Address_space.get_int space ~addr:(Heap.cell_addr cell));
+  check Alcotest.bool "loser pages privatised then dropped" true
+    (r.Concurrent.child_cow_copies >= 1)
+
+let test_concurrent_transparency_vs_sequential () =
+  (* Executing the block concurrently must leave the same final state as a
+     sequential execution of the winning alternative alone. *)
+  let final_of run_block =
+    let eng = mk_engine () in
+    let model = Engine.model eng in
+    let space = Address_space.create (Engine.frame_store eng) model in
+    let heap = Heap.create space in
+    let a = Heap.int_cell heap 0 and b = Heap.int_cell heap 0 in
+    let alts =
+      [
+        Alternative.make (fun ctx ->
+            Mem.set ctx a 1;
+            Engine.delay ctx 5.;
+            Mem.set ctx b 1;
+            "slow");
+        Alternative.make (fun ctx ->
+            Mem.set ctx a 2;
+            Engine.delay ctx 1.;
+            Mem.set ctx b 2;
+            "fast");
+      ]
+    in
+    let _ = run_block eng space alts in
+    (Address_space.get_int space ~addr:(Heap.cell_addr a),
+     Address_space.get_int space ~addr:(Heap.cell_addr b))
+  in
+  let concurrent =
+    final_of (fun eng space alts -> Concurrent.run_toplevel eng ~space alts)
+  in
+  let sequential_of_winner =
+    final_of (fun eng space alts ->
+        let winner = List.nth alts 1 in
+        in_process ~space eng (fun ctx -> Alt_block.run_first ctx [ winner ]))
+  in
+  check Alcotest.(pair int int) "indistinguishable final state"
+    sequential_of_winner concurrent
+
+let test_concurrent_setup_cost_charged () =
+  (* With a real model, setup grows with the number of alternatives and the
+     winner's elapsed time includes it. *)
+  let model = Cost_model.hp_9000_350 in
+  let run n =
+    let eng = Engine.create ~model ~trace:false () in
+    let space =
+      Address_space.create ~size_hint:(320 * 1024) (Engine.frame_store eng) model
+    in
+    let alts = List.init n (fun i -> Alternative.fixed ~cost:1. i) in
+    Concurrent.run_toplevel eng ~space alts
+  in
+  let r2 = run 2 and r4 = run 4 in
+  check Alcotest.bool "setup grows with N" true
+    (r4.Concurrent.setup_cost > r2.Concurrent.setup_cost *. 1.5);
+  check Alcotest.bool "elapsed includes setup" true
+    (r2.Concurrent.elapsed >= 1. +. r2.Concurrent.setup_cost);
+  (* 2 forks of 80 pages at calibrated cost: 2 * 12ms. *)
+  check Alcotest.bool "setup is 2 forks" true
+    (Float.abs (r2.Concurrent.setup_cost -. 0.024) < 1e-6)
+
+let test_concurrent_sim_matches_analytic_table () =
+  List.iter
+    (fun (row : Analytic.row) ->
+      let eng = mk_engine () in
+      let alts =
+        Array.to_list
+          (Array.mapi (fun i c -> Alternative.fixed ~cost:c i) row.Analytic.times)
+      in
+      let r = Concurrent.run_toplevel eng alts in
+      let pi_sim =
+        Stats.mean row.Analytic.times /. (r.Concurrent.elapsed +. row.Analytic.overhead)
+      in
+      if Float.abs (pi_sim -. row.Analytic.pi_value) > 1e-9 then
+        Alcotest.failf "row %s: simulated PI %f vs analytic %f" row.Analytic.label
+          pi_sim row.Analytic.pi_value)
+    (Analytic.table_4_3 ())
+
+let test_elimination_sync_charges_parent () =
+  let model = { (Cost_model.uniform ()) with kill_per_sibling = 0.1 } in
+  let eng = Engine.create ~model ~trace:false () in
+  let r =
+    Concurrent.run_toplevel eng
+      ~policy:{ Concurrent.default_policy with elimination = Concurrent.Sync_elim }
+      [ Alternative.fixed ~cost:1. "w"; Alternative.fixed ~cost:5. "l1";
+        Alternative.fixed ~cost:5. "l2" ]
+  in
+  check cf "selection = 2 kill issues" 0.2 r.Concurrent.selection_cost;
+  check cf "elapsed includes elimination" 1.2 r.Concurrent.elapsed
+
+let test_elimination_async_does_not_charge_parent () =
+  let model = { (Cost_model.uniform ()) with kill_per_sibling = 0.1; msg_latency = 0.05 } in
+  let eng = Engine.create ~model ~trace:false () in
+  let r =
+    Concurrent.run_toplevel eng
+      ~policy:{ Concurrent.default_policy with elimination = Concurrent.Async_elim }
+      [ Alternative.fixed ~cost:1. "w"; Alternative.fixed ~cost:5. "l1";
+        Alternative.fixed ~cost:5. "l2" ]
+  in
+  check cf "no selection charge" 0. r.Concurrent.selection_cost;
+  check cf "parent resumes at once" 1. r.Concurrent.elapsed;
+  (* But the zombies burn CPU until the background kill lands. *)
+  check Alcotest.bool "extra wasted work" true (r.Concurrent.wasted_cpu > 2.)
+
+let test_async_elimination_wastes_more_than_sync () =
+  let run elimination =
+    let model = { (Cost_model.uniform ()) with msg_latency = 0.2 } in
+    let eng = Engine.create ~model ~trace:false () in
+    (Concurrent.run_toplevel eng
+       ~policy:{ Concurrent.default_policy with elimination }
+       [ Alternative.fixed ~cost:1. 0; Alternative.fixed ~cost:9. 1 ])
+      .Concurrent.wasted_cpu
+  in
+  check Alcotest.bool "async wastes more cpu" true
+    (run Concurrent.Async_elim > run Concurrent.Sync_elim)
+
+let test_concurrent_with_consensus_sync () =
+  let eng = Engine.create ~model:Cost_model.hp_9000_350 ~trace:false () in
+  let policy =
+    {
+      Concurrent.default_policy with
+      sync =
+        Concurrent.Consensus
+          { nodes = 5; crashed = [ 1 ]; vote_delay = 0.001; reply_timeout = 0.5 };
+    }
+  in
+  let r =
+    Concurrent.run_toplevel eng ~policy
+      [ Alternative.fixed ~cost:1. "a"; Alternative.fixed ~cost:0.2 "b" ]
+  in
+  (match r.Concurrent.outcome with
+  | Alt_block.Selected { value = "b"; _ } -> ()
+  | _ -> Alcotest.fail "fastest must win under consensus too");
+  check Alcotest.bool "consensus messages counted" true (r.Concurrent.sync_messages > 0);
+  check Alcotest.bool "consensus adds latency" true (r.Concurrent.elapsed > 0.2)
+
+let test_concurrent_consensus_majority_crashed_fails_block () =
+  let eng = Engine.create ~model:Cost_model.hp_9000_350 ~trace:false () in
+  let policy =
+    {
+      Concurrent.default_policy with
+      sync =
+        Concurrent.Consensus
+          { nodes = 3; crashed = [ 0; 1 ]; vote_delay = 0.; reply_timeout = 0.1 };
+      timeout = 30.;
+    }
+  in
+  let r = Concurrent.run_toplevel eng ~policy [ Alternative.fixed ~cost:0.1 "x" ] in
+  match r.Concurrent.outcome with
+  | Alt_block.Block_failed _ -> ()
+  | _ -> Alcotest.fail "no majority -> no commit"
+
+let test_cores_contention_slows_block () =
+  let run cores =
+    let eng = mk_engine ~cores () in
+    (Concurrent.run_toplevel eng
+       (List.init 4 (fun i -> Alternative.fixed ~cost:1. i)))
+      .Concurrent.elapsed
+  in
+  check cf "infinite cores: best time" 1. (run Engine.Infinite);
+  check cf "1 core: mean-ish (4 tasks PS until first completes)" 4.
+    (run (Engine.Cores 1));
+  check cf "2 cores" 2. (run (Engine.Cores 2));
+  check Alcotest.bool "monotone in cores" true
+    (run (Engine.Cores 1) >= run (Engine.Cores 2)
+    && run (Engine.Cores 2) >= run (Engine.Cores 4))
+
+let test_empty_block_rejected () =
+  let eng = mk_engine () in
+  let raised = ref false in
+  ignore
+    (Engine.spawn eng ~cloneable:false (fun ctx ->
+         try ignore (Concurrent.run ctx ([] : unit Alternative.t list))
+         with Invalid_argument _ -> raised := true));
+  Engine.run eng;
+  check Alcotest.bool "empty rejected" true !raised
+
+let test_winner_fate_completed_losers_failed () =
+  let eng = Engine.create ~trace:false () in
+  let r =
+    Concurrent.run_toplevel eng
+      [ Alternative.fixed ~cost:1. "w"; Alternative.fixed ~cost:2. "l" ]
+  in
+  let reg = Engine.registry eng in
+  (match (r.Concurrent.winner, r.Concurrent.children) with
+  | Some w, children ->
+    check Alcotest.bool "winner completed" true
+      (Fate_registry.fate reg w = Some Predicate.Completed);
+    List.iter
+      (fun c ->
+        if not (Pid.equal c w) then
+          check Alcotest.bool "loser failed" true
+            (Fate_registry.fate reg c = Some Predicate.Failed))
+      children
+  | None, _ -> Alcotest.fail "expected a winner")
+
+(* The observable outcome must equal some sequential selection: the
+   transparency property, tested over random cost vectors. *)
+let prop_concurrent_selects_a_real_alternative =
+  QCheck.Test.make ~name:"concurrent outcome is a valid selection" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 6) (float_range 0.1 10.))
+    (fun costs ->
+      let eng = mk_engine () in
+      let alts = Array.to_list (Array.mapi (fun i c -> Alternative.fixed ~cost:c i) costs) in
+      let r = Concurrent.run_toplevel eng alts in
+      match r.Concurrent.outcome with
+      | Alt_block.Selected { index; value } ->
+        index = value
+        && Float.abs (costs.(index) -. Stats.min costs) < 1e-9
+        && Float.abs (r.Concurrent.elapsed -. Stats.min costs) < 1e-9
+      | Alt_block.Block_failed _ -> false)
+
+let test_children_inherit_parent_predicates () =
+  (* Section 3.3: "the predicates of a child process consist of those of
+     the parent", plus self-completes and siblings-fail. *)
+  let eng = Engine.create ~trace:false () in
+  let dep = List.hd (Engine.fresh_pids eng 1) in
+  let child_preds = ref [] in
+  ignore
+    (Engine.spawn eng ~cloneable:false
+       ~predicate:(Predicate.make ~must_complete:[ dep ] ~must_fail:[])
+       (fun ctx ->
+         ignore
+           (Concurrent.run ctx
+              [
+                Alternative.make (fun cctx ->
+                    child_preds := Engine.my_predicate cctx :: !child_preds;
+                    Engine.delay cctx 0.1;
+                    0);
+                Alternative.make (fun cctx ->
+                    child_preds := Engine.my_predicate cctx :: !child_preds;
+                    Engine.delay cctx 0.2;
+                    1);
+              ])));
+  ignore (Engine.spawn eng ~pid:dep (fun ctx -> Engine.delay ctx 10.));
+  Engine.run eng;
+  check Alcotest.int "both children sampled" 2 (List.length !child_preds);
+  List.iter
+    (fun p ->
+      check Alcotest.bool "parent's assumption inherited" true
+        (Predicate.mem_completes p dep);
+      check Alcotest.int "parent's + self + sibling" 3 (Predicate.cardinal p))
+    !child_preds
+
+(* ---------------- Schemes ---------------- *)
+
+let test_schemes_evaluate_known_matrix () =
+  let w =
+    { Schemes.description = "fixed"; times = [| [| 1.; 9. |]; [| 9.; 1. |] |] }
+  in
+  let e = Schemes.evaluate w ~overhead:0.5 in
+  check cf "A: both columns mean 5" 5. e.Schemes.scheme_a;
+  check cf "B: global mean 5" 5. e.Schemes.scheme_b;
+  check cf "oracle: always 1" 1. e.Schemes.oracle;
+  check cf "C = oracle + overhead" 1.5 e.Schemes.scheme_c;
+  check cf "PI" (5. /. 1.5) e.Schemes.pi_c_over_b
+
+let test_schemes_a_picks_best_column () =
+  let w =
+    { Schemes.description = "skewed"; times = [| [| 2.; 10. |]; [| 4.; 10. |] |] }
+  in
+  let e = Schemes.evaluate w ~overhead:0. in
+  check cf "A commits to column 0" 3. e.Schemes.scheme_a
+
+let test_schemes_generate_shapes () =
+  let rng = Rng.create ~seed:7 in
+  let w =
+    Schemes.generate ~rng ~inputs:50 ~alternatives:3
+      ~dist:(`Bimodal (1., 100., 0.3)) ~description:"queries"
+  in
+  check Alcotest.int "inputs" 50 (Array.length w.Schemes.times);
+  check Alcotest.int "alternatives" 3 (Array.length w.Schemes.times.(0));
+  Array.iter
+    (Array.iter (fun v ->
+         if v <> 1. && v <> 100. then Alcotest.fail "bimodal draws only two values"))
+    w.Schemes.times
+
+let prop_scheme_c_bounds =
+  QCheck.Test.make ~name:"oracle <= A and oracle <= B" ~count:200
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, alternatives) ->
+      let rng = Rng.create ~seed in
+      let w =
+        Schemes.generate ~rng ~inputs:20 ~alternatives ~dist:(`Exponential 5.)
+          ~description:"prop"
+      in
+      let e = Schemes.evaluate w ~overhead:0. in
+      e.Schemes.oracle <= e.Schemes.scheme_a +. 1e-9
+      && e.Schemes.oracle <= e.Schemes.scheme_b +. 1e-9)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "analytic",
+        [
+          Alcotest.test_case "pi basics" `Quick test_pi_basic;
+          Alcotest.test_case "pi validations" `Quick test_pi_validations;
+          Alcotest.test_case "break-even overhead" `Quick test_break_even;
+          Alcotest.test_case "overhead total" `Quick test_overhead_total;
+          Alcotest.test_case "table 4.3 matches the paper" `Quick
+            test_table_4_3_matches_paper;
+          QCheck_alcotest.to_alcotest prop_pi_formula;
+          QCheck_alcotest.to_alcotest prop_pi_antitone_in_overhead;
+        ] );
+      ( "alt_block",
+        [
+          Alcotest.test_case "run_first picks first success" `Quick
+            test_run_first_picks_first_success;
+          Alcotest.test_case "run_first all fail" `Quick test_run_first_all_fail;
+          Alcotest.test_case "guards skip alternatives" `Quick test_run_first_guard_skips;
+          Alcotest.test_case "rollback restores memory" `Quick
+            test_sequential_rollback_restores_memory;
+          Alcotest.test_case "rollback on total failure" `Quick
+            test_sequential_rollback_on_total_failure;
+          Alcotest.test_case "run_random deterministic per seed" `Quick
+            test_run_random_is_seed_deterministic;
+          Alcotest.test_case "run_random commits" `Quick test_run_random_commits_to_failure;
+          Alcotest.test_case "run_oracle" `Quick test_run_oracle;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "fastest wins" `Quick test_concurrent_fastest_wins;
+          Alcotest.test_case "guards exclude" `Quick test_concurrent_guard_excludes;
+          Alcotest.test_case "all fail" `Quick test_concurrent_all_fail;
+          Alcotest.test_case "timeout" `Quick test_concurrent_timeout;
+          Alcotest.test_case "crash handled as failure" `Quick
+            test_concurrent_crashing_alternative_is_failure;
+          Alcotest.test_case "winner memory absorbed" `Quick
+            test_concurrent_absorbs_winner_memory;
+          Alcotest.test_case "transparent vs sequential" `Quick
+            test_concurrent_transparency_vs_sequential;
+          Alcotest.test_case "setup cost charged" `Quick test_concurrent_setup_cost_charged;
+          Alcotest.test_case "simulation matches table 4.3" `Quick
+            test_concurrent_sim_matches_analytic_table;
+          Alcotest.test_case "sync elimination charges parent" `Quick
+            test_elimination_sync_charges_parent;
+          Alcotest.test_case "async elimination is free for the parent" `Quick
+            test_elimination_async_does_not_charge_parent;
+          Alcotest.test_case "async wastes more cpu than sync" `Quick
+            test_async_elimination_wastes_more_than_sync;
+          Alcotest.test_case "consensus sync" `Quick test_concurrent_with_consensus_sync;
+          Alcotest.test_case "consensus majority crashed" `Quick
+            test_concurrent_consensus_majority_crashed_fails_block;
+          Alcotest.test_case "core contention" `Quick test_cores_contention_slows_block;
+          Alcotest.test_case "empty block rejected" `Quick test_empty_block_rejected;
+          Alcotest.test_case "fates recorded" `Quick test_winner_fate_completed_losers_failed;
+          Alcotest.test_case "children inherit parent predicates" `Quick
+            test_children_inherit_parent_predicates;
+          QCheck_alcotest.to_alcotest prop_concurrent_selects_a_real_alternative;
+        ] );
+      ( "schemes",
+        [
+          Alcotest.test_case "known matrix" `Quick test_schemes_evaluate_known_matrix;
+          Alcotest.test_case "A picks best column" `Quick test_schemes_a_picks_best_column;
+          Alcotest.test_case "generate shapes" `Quick test_schemes_generate_shapes;
+          QCheck_alcotest.to_alcotest prop_scheme_c_bounds;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(* The evaluation harness itself is code: every experiment must run without
+   raising and produce output, ids must be unique and findable, and the
+   deterministic experiments must print identical output on a second run. *)
+
+let check = Alcotest.check
+
+let render (e : Experiments.experiment) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  e.Experiments.run ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_ids_unique_and_findable () =
+  let ids = List.map (fun e -> e.Experiments.id) Experiments.all in
+  check Alcotest.int "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Experiments.find id with
+      | Some e -> check Alcotest.string "find returns the experiment" id e.Experiments.id
+      | None -> Alcotest.failf "id %s not findable" id)
+    ids;
+  check Alcotest.bool "unknown id" true (Experiments.find "nope" = None);
+  check Alcotest.int "seventeen experiments" 17 (List.length Experiments.all)
+
+let test_run_all_subset () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Experiments.run_all ~ids:[ "table-4.3-pi" ] ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  check Alcotest.bool "header present" true
+    (String.length out > 100)
+
+let deterministic_ids =
+  (* Everything except the two host-measuring experiments. *)
+  List.filter
+    (fun (e : Experiments.experiment) ->
+      not (List.mem e.Experiments.id [ "real-fork"; "real-race" ]))
+    Experiments.all
+
+let test_each_experiment_produces_output () =
+  List.iter
+    (fun (e : Experiments.experiment) ->
+      let out = render e in
+      if String.length out < 80 then
+        Alcotest.failf "experiment %s produced almost no output" e.Experiments.id)
+    deterministic_ids
+
+let test_simulated_experiments_deterministic () =
+  (* The simulated tables must be byte-identical across runs. E8 includes a
+     real forked race in its tail, so compare only up to that line. *)
+  let strip_real s =
+    match String.index_opt s 'R' with
+    | _ -> (
+      match
+        String.split_on_char '\n' s
+        |> List.filter (fun l ->
+               not
+                 (String.length l > 6
+                 && String.sub l 0 6 = "  Real"))
+      with
+      | lines -> String.concat "\n" lines)
+  in
+  List.iter
+    (fun (e : Experiments.experiment) ->
+      let a = strip_real (render e) and b = strip_real (render e) in
+      if a <> b then Alcotest.failf "experiment %s is nondeterministic" e.Experiments.id)
+    deterministic_ids
+
+let test_pi_table_text_matches_paper () =
+  match Experiments.find "table-4.3-pi" with
+  | None -> Alcotest.fail "missing"
+  | Some e ->
+    let out = render e in
+    (* The six paper PI values must all appear. *)
+    List.iter
+      (fun needle ->
+        let n = String.length needle and m = String.length out in
+        let rec go i = i + n <= m && (String.sub out i n = needle || go (i + 1)) in
+        if not (go 0) then Alcotest.failf "missing %s in table output" needle)
+      [ "1.33"; "7.00"; "0.80"; "0.33"; "1.00"; "1.90" ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "ids unique and findable" `Quick test_ids_unique_and_findable;
+          Alcotest.test_case "run_all subset" `Quick test_run_all_subset;
+          Alcotest.test_case "every experiment produces output" `Slow
+            test_each_experiment_produces_output;
+          Alcotest.test_case "simulated experiments deterministic" `Slow
+            test_simulated_experiments_deterministic;
+          Alcotest.test_case "PI table text matches the paper" `Quick
+            test_pi_table_text_matches_paper;
+        ] );
+    ]

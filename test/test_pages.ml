@@ -1,0 +1,448 @@
+(* Tests for the paged store: frames, COW page maps, address spaces, heap
+   cells, and the calibrated cost models. *)
+
+let check = Alcotest.check
+let cf = Alcotest.float 1e-9
+
+let mk_store ?(page_size = 256) () = Frame_store.create ~page_size
+
+(* ---------------- Frame_store ---------------- *)
+
+let test_frame_alloc_zeroed () =
+  let s = mk_store () in
+  let f = Frame_store.alloc s in
+  check Alcotest.int "refcount 1" 1 (Frame_store.refcount f);
+  check Alcotest.bool "zero filled" true
+    (Bytes.for_all (fun c -> c = '\000') (Frame_store.data f));
+  check Alcotest.int "live" 1 (Frame_store.live_frames s)
+
+let test_frame_copy_independent () =
+  let s = mk_store () in
+  let f = Frame_store.alloc s in
+  Bytes.set (Frame_store.data f) 0 'a';
+  let g = Frame_store.alloc_copy s f in
+  check Alcotest.char "copied contents" 'a' (Bytes.get (Frame_store.data g) 0);
+  Bytes.set (Frame_store.data g) 0 'b';
+  check Alcotest.char "original untouched" 'a' (Bytes.get (Frame_store.data f) 0);
+  check Alcotest.int "cow count" 1 (Frame_store.cow_copies s)
+
+let test_frame_refcounting () =
+  let s = mk_store () in
+  let f = Frame_store.alloc s in
+  Frame_store.incref f;
+  check Alcotest.int "refs 2" 2 (Frame_store.refcount f);
+  Frame_store.decref s f;
+  check Alcotest.int "still live" 1 (Frame_store.live_frames s);
+  Frame_store.decref s f;
+  check Alcotest.int "freed" 0 (Frame_store.live_frames s)
+
+let test_frame_recycling_zeroes () =
+  let s = mk_store () in
+  let f = Frame_store.alloc s in
+  Bytes.set (Frame_store.data f) 3 'x';
+  Frame_store.decref s f;
+  let g = Frame_store.alloc s in
+  check Alcotest.bool "recycled frame zeroed" true
+    (Bytes.for_all (fun c -> c = '\000') (Frame_store.data g));
+  check Alcotest.int "two allocations total" 2 (Frame_store.total_allocations s)
+
+(* ---------------- Page_map ---------------- *)
+
+let test_map_read_unmapped_zero () =
+  let s = mk_store () in
+  let m = Page_map.create s in
+  let b = Page_map.read m ~vpage:5 ~off:10 ~len:4 in
+  check Alcotest.string "zeros" "\000\000\000\000" (Bytes.to_string b);
+  check Alcotest.int "no page materialised" 0 (Page_map.mapped_pages m)
+
+let test_map_write_then_read () =
+  let s = mk_store () in
+  let m = Page_map.create s in
+  let copied = ref false in
+  Page_map.write m ~vpage:2 ~off:7 ~src:(Bytes.of_string "hey") ~copied;
+  check Alcotest.bool "first write is not a cow fault" false !copied;
+  check Alcotest.string "read back" "hey"
+    (Bytes.to_string (Page_map.read m ~vpage:2 ~off:7 ~len:3));
+  check Alcotest.int "one page" 1 (Page_map.mapped_pages m)
+
+let test_map_fork_shares_frames () =
+  let s = mk_store () in
+  let m = Page_map.create s in
+  let copied = ref false in
+  Page_map.write m ~vpage:0 ~off:0 ~src:(Bytes.of_string "abc") ~copied;
+  let c = Page_map.fork m in
+  check Alcotest.(option int) "same frame" (Page_map.frame_id m ~vpage:0)
+    (Page_map.frame_id c ~vpage:0);
+  check Alcotest.int "parent shared" 1 (Page_map.shared_pages m);
+  check Alcotest.int "child shared" 1 (Page_map.shared_pages c);
+  check Alcotest.string "child reads parent data" "abc"
+    (Bytes.to_string (Page_map.read c ~vpage:0 ~off:0 ~len:3))
+
+let test_map_cow_isolation () =
+  let s = mk_store () in
+  let m = Page_map.create s in
+  let copied = ref false in
+  Page_map.write m ~vpage:0 ~off:0 ~src:(Bytes.of_string "abc") ~copied;
+  let c = Page_map.fork m in
+  let copied = ref false in
+  Page_map.write c ~vpage:0 ~off:0 ~src:(Bytes.of_string "xyz") ~copied;
+  check Alcotest.bool "write to shared page faults" true !copied;
+  check Alcotest.string "child sees new" "xyz"
+    (Bytes.to_string (Page_map.read c ~vpage:0 ~off:0 ~len:3));
+  check Alcotest.string "parent sees old" "abc"
+    (Bytes.to_string (Page_map.read m ~vpage:0 ~off:0 ~len:3));
+  check Alcotest.bool "frames diverged" true
+    (Page_map.frame_id m ~vpage:0 <> Page_map.frame_id c ~vpage:0);
+  check Alcotest.int "child cow count" 1 (Page_map.cow_copies c);
+  (* Second write to the now-private page must not fault again. *)
+  let copied = ref false in
+  Page_map.write c ~vpage:0 ~off:1 ~src:(Bytes.of_string "q") ~copied;
+  check Alcotest.bool "private write no fault" false !copied
+
+let test_map_absorb () =
+  let s = mk_store () in
+  let parent = Page_map.create s in
+  let copied = ref false in
+  Page_map.write parent ~vpage:0 ~off:0 ~src:(Bytes.of_string "old") ~copied;
+  let child = Page_map.fork parent in
+  let copied = ref false in
+  Page_map.write child ~vpage:0 ~off:0 ~src:(Bytes.of_string "new") ~copied;
+  Page_map.write child ~vpage:1 ~off:0 ~src:(Bytes.of_string "extra") ~copied;
+  let child_cows = Page_map.cow_copies child in
+  Page_map.absorb ~parent ~child;
+  check Alcotest.string "parent sees child's update" "new"
+    (Bytes.to_string (Page_map.read parent ~vpage:0 ~off:0 ~len:3));
+  check Alcotest.string "parent sees child's new page" "extra"
+    (Bytes.to_string (Page_map.read parent ~vpage:1 ~off:0 ~len:5));
+  check Alcotest.bool "child released" true (Page_map.released child);
+  check Alcotest.bool "cow history survives" true
+    (Page_map.cow_copies parent >= child_cows);
+  (* Old parent frame must have been dropped. *)
+  check Alcotest.int "live frames = child's two" 2 (Frame_store.live_frames s)
+
+let test_map_release_idempotent () =
+  let s = mk_store () in
+  let m = Page_map.create s in
+  let copied = ref false in
+  Page_map.write m ~vpage:0 ~off:0 ~src:(Bytes.of_string "a") ~copied;
+  Page_map.release m;
+  Page_map.release m;
+  check Alcotest.int "frames freed" 0 (Frame_store.live_frames s);
+  Alcotest.check_raises "use after release"
+    (Invalid_argument "Page_map: use after release") (fun () ->
+      ignore (Page_map.mapped_pages m))
+
+let test_map_bounds () =
+  let s = mk_store () in
+  let m = Page_map.create s in
+  Alcotest.check_raises "crossing boundary"
+    (Invalid_argument "Page_map: access crosses page boundary") (fun () ->
+      ignore (Page_map.read m ~vpage:0 ~off:250 ~len:10))
+
+let test_map_snapshot_equal () =
+  let s = mk_store () in
+  let a = Page_map.create s in
+  let copied = ref false in
+  Page_map.write a ~vpage:0 ~off:0 ~src:(Bytes.of_string "zz") ~copied;
+  let b = Page_map.fork a in
+  check Alcotest.bool "fork equal" true (Page_map.snapshot_equal a b);
+  Page_map.write b ~vpage:3 ~off:0 ~src:(Bytes.of_string "w") ~copied;
+  check Alcotest.bool "diverged" false (Page_map.snapshot_equal a b)
+
+(* ---------------- Address_space ---------------- *)
+
+let model = Cost_model.uniform ~page_size:256 ()
+
+let mk_space ?size_hint () =
+  Address_space.create ?size_hint (mk_store ()) model
+
+let test_space_cross_page_rw () =
+  let sp = mk_space () in
+  let data = Bytes.of_string (String.init 700 (fun i -> Char.chr (i mod 256))) in
+  Address_space.write_bytes sp ~addr:100 data;
+  let back = Address_space.read_bytes sp ~addr:100 ~len:700 in
+  check Alcotest.bool "round trip across pages" true (Bytes.equal data back);
+  check Alcotest.int "pages materialised" 4 (Address_space.mapped_pages sp)
+
+let test_space_typed_accessors () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:8 123456789;
+  check Alcotest.int "int" 123456789 (Address_space.get_int sp ~addr:8);
+  Address_space.set_float sp ~addr:16 3.25;
+  check cf "float" 3.25 (Address_space.get_float sp ~addr:16);
+  Address_space.set_u8 sp ~addr:0 200;
+  check Alcotest.int "u8" 200 (Address_space.get_u8 sp ~addr:0);
+  Address_space.set_string sp ~addr:512 "hello";
+  check Alcotest.string "string" "hello"
+    (Address_space.get_string sp ~addr:512 ~len:5);
+  Alcotest.check_raises "u8 range" (Invalid_argument "Address_space.set_u8")
+    (fun () -> Address_space.set_u8 sp ~addr:0 300)
+
+let test_space_negative_addr () =
+  let sp = mk_space () in
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Address_space: negative address") (fun () ->
+      ignore (Address_space.read_bytes sp ~addr:(-1) ~len:1))
+
+let test_space_fork_isolation_and_cost () =
+  (* Use a real model so costs are visible. *)
+  let m = Cost_model.att_3b2 in
+  let store = Frame_store.create ~page_size:m.Cost_model.page_size in
+  let sp = Address_space.create ~size_hint:(320 * 1024) store m in
+  check Alcotest.int "320K is 160 2K-pages" 160 (Address_space.mapped_pages sp);
+  check cf "hint cost discarded" 0. (Address_space.pending_cost sp);
+  let child = Address_space.fork sp in
+  let setup = Address_space.drain_cost child in
+  (* Paper: fork of a 320K address space on the 3B2 is about 31 ms. *)
+  check Alcotest.bool "fork cost ~31ms" true (Float.abs (setup -. 0.031) < 1e-6);
+  Address_space.set_int child ~addr:0 7;
+  let cow = Address_space.drain_cost child in
+  check Alcotest.bool "one page copy charged" true
+    (Float.abs (cow -. (1. /. 326.)) < 1e-9);
+  check Alcotest.int "parent unaffected" 0 (Address_space.get_int sp ~addr:0)
+
+let test_space_absorb_merges () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 1;
+  let child = Address_space.fork sp in
+  ignore (Address_space.drain_cost child);
+  Address_space.set_int child ~addr:0 2;
+  Address_space.absorb ~parent:sp ~child;
+  check Alcotest.int "parent got child's value" 2 (Address_space.get_int sp ~addr:0)
+
+let test_space_touch () =
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 5;
+  let child = Address_space.fork sp in
+  ignore (Address_space.drain_cost child);
+  Address_space.touch child ~addr:0 ~len:1;
+  check Alcotest.int "touch privatised the page" 1 (Address_space.cow_copies child);
+  check Alcotest.int "contents preserved" 5 (Address_space.get_int child ~addr:0)
+
+let test_space_page_size_mismatch () =
+  let store = Frame_store.create ~page_size:128 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Address_space.create: store/model page size mismatch")
+    (fun () -> ignore (Address_space.create store model))
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_cells () =
+  let sp = mk_space () in
+  let h = Heap.create sp in
+  let a = Heap.int_cell h 10 in
+  let b = Heap.float_cell h 1.5 in
+  let c = Heap.string_cell h ~max_len:16 "hi" in
+  check Alcotest.int "int cell" 10 (Heap.get h a);
+  check cf "float cell" 1.5 (Heap.get h b);
+  check Alcotest.string "string cell" "hi" (Heap.get h c);
+  Heap.set h a 11;
+  Heap.set h c "longer text";
+  check Alcotest.int "int updated" 11 (Heap.get h a);
+  check Alcotest.string "string updated" "longer text" (Heap.get h c);
+  Alcotest.check_raises "string too long"
+    (Invalid_argument "Heap.set: string too long") (fun () ->
+      Heap.set h c "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+
+let test_heap_alloc_disjoint () =
+  let sp = mk_space () in
+  let h = Heap.create sp in
+  let a = Heap.alloc h 5 and b = Heap.alloc h 5 in
+  check Alcotest.bool "disjoint and ordered" true (b >= a + 5);
+  check Alcotest.bool "aligned" true (a mod 8 = 0 && b mod 8 = 0)
+
+let test_heap_view_through_fork () =
+  let sp = mk_space () in
+  let h = Heap.create sp in
+  let cell = Heap.int_cell h 1 in
+  let child_space = Address_space.fork sp in
+  ignore (Address_space.drain_cost child_space);
+  let child_heap = Heap.view h child_space in
+  check Alcotest.int "child sees parent value" 1 (Heap.get child_heap cell);
+  Heap.set child_heap cell 99;
+  check Alcotest.int "child updated" 99 (Heap.get child_heap cell);
+  check Alcotest.int "parent isolated" 1 (Heap.get h cell);
+  (* Views share the allocation frontier. *)
+  let c2 = Heap.int_cell child_heap 5 in
+  check Alcotest.bool "no overlap across views" true
+    (Heap.cell_addr c2 > Heap.cell_addr cell)
+
+(* ---------------- Cost_model ---------------- *)
+
+let test_model_calibration_3b2 () =
+  let m = Cost_model.att_3b2 in
+  check Alcotest.int "2K pages" 2048 m.Cost_model.page_size;
+  let pages = Cost_model.pages_for m ~bytes:(320 * 1024) in
+  check Alcotest.int "320K = 160 pages" 160 pages;
+  check Alcotest.bool "fork ~= 31 ms" true
+    (Float.abs (Cost_model.fork_cost m ~mapped_pages:pages -. 0.031) < 1e-6);
+  check Alcotest.bool "copy rate 326/s" true
+    (Float.abs ((1. /. m.Cost_model.page_copy) -. 326.) < 1e-6)
+
+let test_model_calibration_hp () =
+  let m = Cost_model.hp_9000_350 in
+  let pages = Cost_model.pages_for m ~bytes:(320 * 1024) in
+  check Alcotest.int "320K = 80 4K-pages" 80 pages;
+  check Alcotest.bool "fork ~= 12 ms" true
+    (Float.abs (Cost_model.fork_cost m ~mapped_pages:pages -. 0.012) < 1e-6);
+  check Alcotest.bool "copy rate 1034/s" true
+    (Float.abs ((1. /. m.Cost_model.page_copy) -. 1034.) < 1e-6)
+
+let test_model_calibration_rfork () =
+  let m = Cost_model.distributed_lan in
+  let pages = Cost_model.pages_for m ~bytes:(70 * 1024) in
+  let mech = Cost_model.remote_spawn_cost m ~mapped_pages:pages in
+  check Alcotest.bool "rfork mechanism ~1.0 s" true (Float.abs (mech -. 1.0) < 0.01);
+  let observed = mech +. (6. *. m.Cost_model.msg_latency) in
+  check Alcotest.bool "observed ~1.3 s" true (Float.abs (observed -. 1.3) < 0.01)
+
+let test_model_pages_for_edges () =
+  let m = Cost_model.uniform ~page_size:100 () in
+  check Alcotest.int "0 bytes" 0 (Cost_model.pages_for m ~bytes:0);
+  check Alcotest.int "1 byte" 1 (Cost_model.pages_for m ~bytes:1);
+  check Alcotest.int "exact page" 1 (Cost_model.pages_for m ~bytes:100);
+  check Alcotest.int "page+1" 2 (Cost_model.pages_for m ~bytes:101)
+
+let test_model_message_cost () =
+  let m = Cost_model.hp_9000_350 in
+  let c = Cost_model.message_cost m ~bytes:1000 in
+  check cf "latency + per byte" (3e-3 +. 1e-3) c
+
+(* ---------------- properties ---------------- *)
+
+(* Random write workloads: a COW child and an eager full copy must present
+   identical contents, and the parent must be unaffected. *)
+let prop_cow_equals_eager_copy =
+  let ops =
+    QCheck.(
+      list_of_size Gen.(int_range 1 60)
+        (pair (int_bound 2047) (string_gen_of_size Gen.(int_range 1 8) Gen.printable)))
+  in
+  QCheck.Test.make ~name:"COW child == eager copy; parent isolated" ~count:200
+    ops (fun writes ->
+      let store = mk_store () in
+      let parent = Page_map.create store in
+      let copied = ref false in
+      Page_map.write parent ~vpage:0 ~off:0 ~src:(Bytes.make 64 'p') ~copied;
+      let child = Page_map.fork parent in
+      let eager = Page_map.fork parent in
+      (* Force the eager copy private immediately. *)
+      for vp = 0 to 7 do
+        let b = Page_map.read eager ~vpage:vp ~off:0 ~len:256 in
+        Page_map.write eager ~vpage:vp ~off:0 ~src:b ~copied
+      done;
+      List.iter
+        (fun (addr, s) ->
+          let vpage = addr / 256 and off = addr mod 256 in
+          let src =
+            Bytes.of_string (String.sub s 0 (min (String.length s) (256 - off)))
+          in
+          if Bytes.length src > 0 then begin
+            Page_map.write child ~vpage ~off ~src ~copied;
+            Page_map.write eager ~vpage ~off ~src ~copied
+          end)
+        writes;
+      let equal = Page_map.snapshot_equal child eager in
+      let parent_ok =
+        Bytes.to_string (Page_map.read parent ~vpage:0 ~off:0 ~len:64)
+        = String.make 64 'p'
+      in
+      equal && parent_ok)
+
+(* Refcount conservation: after releasing everything, no frames leak. *)
+let prop_no_frame_leaks =
+  QCheck.Test.make ~name:"release reclaims all frames" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_bound 15))
+    (fun vpages ->
+      let store = mk_store () in
+      let parent = Page_map.create store in
+      let copied = ref false in
+      List.iter
+        (fun vp ->
+          Page_map.write parent ~vpage:vp ~off:0 ~src:(Bytes.of_string "x")
+            ~copied)
+        vpages;
+      let kids = List.init 3 (fun _ -> Page_map.fork parent) in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun vp ->
+              Page_map.write k ~vpage:vp ~off:1 ~src:(Bytes.of_string "y")
+                ~copied)
+            vpages)
+        kids;
+      List.iter Page_map.release kids;
+      Page_map.release parent;
+      Frame_store.live_frames store = 0)
+
+(* Absorb is equivalent to the child's view. *)
+let prop_absorb_equals_child =
+  QCheck.Test.make ~name:"absorb makes parent identical to child" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_bound 10) small_printable_string))
+    (fun writes ->
+      let store = mk_store () in
+      let parent = Page_map.create store in
+      let copied = ref false in
+      Page_map.write parent ~vpage:0 ~off:0 ~src:(Bytes.of_string "base") ~copied;
+      let child = Page_map.fork parent in
+      let reference = Page_map.fork parent in
+      List.iter
+        (fun (vp, s) ->
+          if String.length s > 0 && String.length s <= 200 then begin
+            let src = Bytes.of_string s in
+            Page_map.write child ~vpage:vp ~off:0 ~src ~copied;
+            Page_map.write reference ~vpage:vp ~off:0 ~src ~copied
+          end)
+        writes;
+      Page_map.absorb ~parent ~child;
+      Page_map.snapshot_equal parent reference)
+
+let () =
+  Alcotest.run "pages"
+    [
+      ( "frame_store",
+        [
+          Alcotest.test_case "alloc zeroed" `Quick test_frame_alloc_zeroed;
+          Alcotest.test_case "copy is independent" `Quick test_frame_copy_independent;
+          Alcotest.test_case "refcounting" `Quick test_frame_refcounting;
+          Alcotest.test_case "recycling zeroes" `Quick test_frame_recycling_zeroes;
+        ] );
+      ( "page_map",
+        [
+          Alcotest.test_case "unmapped reads zero" `Quick test_map_read_unmapped_zero;
+          Alcotest.test_case "write then read" `Quick test_map_write_then_read;
+          Alcotest.test_case "fork shares frames" `Quick test_map_fork_shares_frames;
+          Alcotest.test_case "cow isolation" `Quick test_map_cow_isolation;
+          Alcotest.test_case "absorb" `Quick test_map_absorb;
+          Alcotest.test_case "release idempotent + guard" `Quick test_map_release_idempotent;
+          Alcotest.test_case "bounds check" `Quick test_map_bounds;
+          Alcotest.test_case "snapshot_equal" `Quick test_map_snapshot_equal;
+        ] );
+      ( "address_space",
+        [
+          Alcotest.test_case "cross-page read/write" `Quick test_space_cross_page_rw;
+          Alcotest.test_case "typed accessors" `Quick test_space_typed_accessors;
+          Alcotest.test_case "negative address" `Quick test_space_negative_addr;
+          Alcotest.test_case "fork isolation and 3B2 cost" `Quick test_space_fork_isolation_and_cost;
+          Alcotest.test_case "absorb merges" `Quick test_space_absorb_merges;
+          Alcotest.test_case "touch privatises" `Quick test_space_touch;
+          Alcotest.test_case "page-size mismatch" `Quick test_space_page_size_mismatch;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "typed cells" `Quick test_heap_cells;
+          Alcotest.test_case "alloc disjoint" `Quick test_heap_alloc_disjoint;
+          Alcotest.test_case "view through fork" `Quick test_heap_view_through_fork;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "3B2 calibration" `Quick test_model_calibration_3b2;
+          Alcotest.test_case "HP calibration" `Quick test_model_calibration_hp;
+          Alcotest.test_case "rfork calibration" `Quick test_model_calibration_rfork;
+          Alcotest.test_case "pages_for edges" `Quick test_model_pages_for_edges;
+          Alcotest.test_case "message cost" `Quick test_model_message_cost;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cow_equals_eager_copy; prop_no_frame_leaks; prop_absorb_equals_child ] );
+    ]

@@ -1,0 +1,694 @@
+(* Tests for the simulation runtime: event queue, virtual time, processor
+   sharing, IPC with predicate matching, multiple-worlds splitting, process
+   elimination, fates. *)
+
+let check = Alcotest.check
+let cf = Alcotest.float 1e-9
+
+(* ---------------- Event_queue ---------------- *)
+
+let test_eq_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3. "c";
+  Event_queue.push q ~time:1. "a";
+  Event_queue.push q ~time:2. "b";
+  check Alcotest.int "size" 3 (Event_queue.size q);
+  check Alcotest.(option (pair (float 0.) string)) "a first" (Some (1., "a"))
+    (Event_queue.pop q);
+  check Alcotest.(option (pair (float 0.) string)) "b second" (Some (2., "b"))
+    (Event_queue.pop q);
+  check Alcotest.(option (pair (float 0.) string)) "c third" (Some (3., "c"))
+    (Event_queue.pop q);
+  check Alcotest.bool "empty" true (Event_queue.pop q = None)
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1. i
+  done;
+  for i = 0 to 9 do
+    match Event_queue.pop q with
+    | Some (_, v) -> check Alcotest.int "insertion order on ties" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_eq_peek_clear () =
+  let q = Event_queue.create () in
+  check Alcotest.(option (float 0.)) "peek empty" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:5. ();
+  check Alcotest.(option (float 0.)) "peek" (Some 5.) (Event_queue.peek_time q);
+  Event_queue.clear q;
+  check Alcotest.bool "cleared" true (Event_queue.is_empty q)
+
+let test_eq_nan () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> Event_queue.push q ~time:Float.nan ())
+
+let prop_eq_sorted =
+  QCheck.Test.make ~name:"pop order is sorted by time" ~count:300
+    QCheck.(list (float_range 0. 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* ---------------- Engine basics ---------------- *)
+
+let mk ?cores ?model ?(trace = false) () = Engine.create ?cores ?model ~trace ()
+
+let test_delay_advances_clock () =
+  let eng = mk () in
+  let finish = ref 0. in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 1.5;
+         Engine.delay ctx 0.5;
+         finish := Engine.now_v ctx));
+  Engine.run eng;
+  check cf "2s elapsed" 2.0 !finish;
+  check cf "engine clock" 2.0 (Engine.now eng)
+
+let test_zero_delay () =
+  let eng = mk () in
+  let ran = ref false in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 0.;
+         ran := true));
+  Engine.run eng;
+  check Alcotest.bool "zero delay completes" true !ran;
+  check cf "no time passed" 0. (Engine.now eng)
+
+let test_start_delay () =
+  let eng = mk () in
+  let t = ref 0. in
+  ignore (Engine.spawn eng ~start_delay:3. (fun ctx -> t := Engine.now_v ctx));
+  Engine.run eng;
+  check cf "started late" 3. !t
+
+let test_exit_statuses () =
+  let eng = mk () in
+  let ok = Engine.spawn eng (fun _ -> ()) in
+  let failed = Engine.spawn eng (fun ctx -> Engine.abort ctx "nope") in
+  let crashed = Engine.spawn eng (fun _ -> failwith "boom") in
+  Engine.run eng;
+  check Alcotest.bool "ok" true (Engine.status eng ok = Some Engine.Exited_ok);
+  check Alcotest.bool "failed" true
+    (Engine.status eng failed = Some (Engine.Exited_failed "nope"));
+  (match Engine.status eng crashed with
+  | Some (Engine.Crashed _) -> ()
+  | _ -> Alcotest.fail "expected crash");
+  check Alcotest.bool "none alive" true (Engine.live_count eng = 0)
+
+let test_on_exit_watcher () =
+  let eng = mk () in
+  let seen = ref None in
+  let pid = Engine.spawn eng (fun ctx -> Engine.delay ctx 1.) in
+  Engine.on_exit eng pid (fun st -> seen := Some st);
+  Engine.run eng;
+  check Alcotest.bool "watcher fired" true (!seen = Some Engine.Exited_ok);
+  (* Late registration fires immediately. *)
+  let late = ref false in
+  Engine.on_exit eng pid (fun _ -> late := true);
+  check Alcotest.bool "late watcher immediate" true !late
+
+let test_fresh_pids_and_spawn_pid () =
+  let eng = mk () in
+  let pids = Engine.fresh_pids eng 3 in
+  check Alcotest.int "three pids" 3 (List.length pids);
+  let p0 = List.hd pids in
+  ignore (Engine.spawn eng ~pid:p0 (fun _ -> ()));
+  Alcotest.check_raises "reuse rejected"
+    (Invalid_argument "Engine.spawn: pid already in use") (fun () ->
+      ignore (Engine.spawn eng ~pid:p0 (fun _ -> ())))
+
+let test_run_for () =
+  let eng = mk () in
+  let steps = ref 0 in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         for _ = 1 to 10 do
+           Engine.delay ctx 1.;
+           incr steps
+         done));
+  Engine.run_for eng 3.5;
+  check Alcotest.int "stopped mid-run" 3 !steps;
+  Engine.run eng;
+  check Alcotest.int "resumable" 10 !steps
+
+(* ---------------- CPU model ---------------- *)
+
+let run_workers cores works =
+  let eng = mk ~cores () in
+  let finishes = Array.make (List.length works) 0. in
+  List.iteri
+    (fun i w ->
+      ignore
+        (Engine.spawn eng (fun ctx ->
+             Engine.delay ctx w;
+             finishes.(i) <- Engine.now_v ctx)))
+    works;
+  Engine.run eng;
+  (eng, finishes)
+
+let test_cpu_infinite () =
+  let _, f = run_workers Engine.Infinite [ 1.; 1.; 1. ] in
+  Array.iter (fun t -> check cf "all at 1s" 1. t) f
+
+let test_cpu_single_core_sharing () =
+  let _, f = run_workers (Engine.Cores 1) [ 1.; 1.; 1. ] in
+  Array.iter (fun t -> check cf "PS: all at 3s" 3. t) f
+
+let test_cpu_two_cores () =
+  let _, f = run_workers (Engine.Cores 2) [ 1.; 1.; 1. ] in
+  Array.iter (fun t -> check cf "3 tasks on 2 cores: 1.5s" 1.5 t) f
+
+let test_cpu_unequal_work () =
+  (* 1 core: works 1 and 2. Both run at rate 1/2 until t=2 (short done),
+     then the long one runs alone: 2 + 1 = 3. *)
+  let _, f = run_workers (Engine.Cores 1) [ 1.; 2. ] in
+  check cf "short at 2" 2. f.(0);
+  check cf "long at 3" 3. f.(1)
+
+let test_cpu_time_accounting () =
+  let eng, _ = run_workers (Engine.Cores 1) [ 1.; 1. ] in
+  check cf "total cpu = total work" 2. (Engine.total_cpu_time eng)
+
+let test_cpu_excess_cores () =
+  let _, f = run_workers (Engine.Cores 8) [ 1.; 1. ] in
+  Array.iter (fun t -> check cf "no contention" 1. t) f
+
+(* ---------------- IPC ---------------- *)
+
+let test_send_receive_payload () =
+  let eng = mk () in
+  let got = ref None in
+  let recv =
+    Engine.spawn eng (fun ctx ->
+        let m = Engine.receive ctx () in
+        got := Some m.Message.payload)
+  in
+  ignore (Engine.spawn eng (fun ctx -> Engine.send ctx recv (Payload.str "hi")));
+  Engine.run eng;
+  check Alcotest.bool "payload" true (!got = Some (Payload.Str "hi"))
+
+let test_fifo_per_channel () =
+  (* A big (slow) message followed by a small (fast) one must still arrive
+     in send order: the channel is FIFO even when per-message costs would
+     reorder deliveries. *)
+  let eng = mk ~model:Cost_model.hp_9000_350 () in
+  let order = ref [] in
+  let recv =
+    Engine.spawn eng (fun ctx ->
+        for _ = 1 to 2 do
+          let m = Engine.receive ctx () in
+          (match m.Message.payload with
+          | Payload.Pair (Payload.Int i, _) -> order := i :: !order
+          | Payload.Int i -> order := i :: !order
+          | _ -> ())
+        done)
+  in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.send ctx recv
+           (Payload.Pair (Payload.int 1, Payload.Str (String.make 9000 'x')));
+         Engine.send ctx recv (Payload.int 2)));
+  Engine.run eng;
+  check Alcotest.(list int) "send order preserved" [ 1; 2 ] (List.rev !order)
+
+let test_fifo_ordering_ints () =
+  let eng = mk () in
+  let order = ref [] in
+  let recv =
+    Engine.spawn eng (fun ctx ->
+        for _ = 1 to 5 do
+          let m = Engine.receive ctx ~tag:"t" () in
+          order := Payload.get_int m.Message.payload :: !order
+        done)
+  in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         for i = 1 to 5 do
+           Engine.send ctx ~tag:"t" recv (Payload.int i)
+         done));
+  Engine.run eng;
+  check Alcotest.(list int) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_tag_filtering () =
+  let eng = mk () in
+  let got = ref [] in
+  let recv =
+    Engine.spawn eng (fun ctx ->
+        let a = Engine.receive ctx ~tag:"b" () in
+        let b = Engine.receive ctx ~tag:"a" () in
+        got := [ a.Message.tag; b.Message.tag ])
+  in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.send ctx ~tag:"a" recv Payload.Unit;
+         Engine.send ctx ~tag:"b" recv Payload.Unit));
+  Engine.run eng;
+  check Alcotest.(list string) "tags honoured" [ "b"; "a" ] !got
+
+let test_receive_timeout () =
+  let eng = mk () in
+  let got = ref (Some ()) in
+  let woke = ref 0. in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         (match Engine.receive_timeout ctx ~timeout:2.5 () with
+         | None -> got := None
+         | Some _ -> ());
+         woke := Engine.now_v ctx));
+  Engine.run eng;
+  check Alcotest.bool "timed out" true (!got = None);
+  check cf "at deadline" 2.5 !woke
+
+let test_receive_timeout_delivery_wins () =
+  let eng = mk () in
+  let got = ref None in
+  let recv =
+    Engine.spawn eng (fun ctx ->
+        match Engine.receive_timeout ctx ~timeout:10. () with
+        | Some m -> got := Some m.Message.payload
+        | None -> ())
+  in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.send ctx recv (Payload.int 9)));
+  Engine.run eng;
+  check Alcotest.bool "message won" true (!got = Some (Payload.Int 9))
+
+let test_message_to_dead_pid_dropped () =
+  let eng = mk () in
+  let dead = Engine.spawn eng (fun _ -> ()) in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.send ctx dead Payload.Unit));
+  Engine.run eng;
+  check Alcotest.int "no one left" 0 (Engine.live_count eng)
+
+(* ---------------- Kill and doom ---------------- *)
+
+let test_kill_parked () =
+  let eng = mk () in
+  let cleaned = ref false in
+  let victim =
+    Engine.spawn eng (fun ctx ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> ignore (Engine.receive ctx ())))
+  in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.kill (Engine.engine ctx) victim ~reason:"test"));
+  Engine.run eng;
+  check Alcotest.bool "Fun.protect ran" true !cleaned;
+  check Alcotest.bool "eliminated" true
+    (Engine.status eng victim = Some (Engine.Eliminated "test"))
+
+let test_kill_delaying () =
+  let eng = mk () in
+  let reached = ref false in
+  let victim =
+    Engine.spawn eng (fun ctx ->
+        Engine.delay ctx 100.;
+        reached := true)
+  in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.kill (Engine.engine ctx) victim ~reason:"cut"));
+  Engine.run eng;
+  check Alcotest.bool "body never resumed" false !reached;
+  check cf "run ended at kill time" 1. (Engine.now eng)
+
+let test_kill_embryo () =
+  let eng = mk () in
+  let ran = ref false in
+  let victim = Engine.spawn eng ~start_delay:5. (fun _ -> ran := true) in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.kill (Engine.engine ctx) victim ~reason:"early"));
+  Engine.run eng;
+  check Alcotest.bool "embryo never ran" false !ran;
+  check Alcotest.bool "eliminated" true
+    (Engine.status eng victim = Some (Engine.Eliminated "early"))
+
+let test_kill_dead_noop () =
+  let eng = mk () in
+  let pid = Engine.spawn eng (fun _ -> ()) in
+  Engine.run eng;
+  Engine.kill eng pid ~reason:"again";
+  check Alcotest.bool "status unchanged" true
+    (Engine.status eng pid = Some Engine.Exited_ok)
+
+(* ---------------- Ivar ---------------- *)
+
+let test_ivar_at_most_once () =
+  let iv = Engine.Ivar.create () in
+  check Alcotest.bool "first fill" true (Engine.Ivar.try_fill iv 1);
+  check Alcotest.bool "second fill too late" false (Engine.Ivar.try_fill iv 2);
+  check Alcotest.(option int) "first value kept" (Some 1) (Engine.Ivar.peek iv)
+
+let test_ivar_read_blocks () =
+  let eng = mk () in
+  let iv = Engine.Ivar.create () in
+  let got = ref 0 in
+  let when_ = ref 0. in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         got := Engine.Ivar.read ctx iv;
+         when_ := Engine.now_v ctx));
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 2.;
+         ignore (Engine.Ivar.try_fill iv 7)));
+  Engine.run eng;
+  check Alcotest.int "value" 7 !got;
+  check cf "woke at fill" 2. !when_
+
+let test_ivar_read_timeout () =
+  let eng = mk () in
+  let iv : int Engine.Ivar.t = Engine.Ivar.create () in
+  let got = ref (Some 0) in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         got := Engine.Ivar.read_timeout ctx iv ~timeout:1.5));
+  Engine.run eng;
+  check Alcotest.bool "timed out" true (!got = None);
+  check cf "deadline respected" 1.5 (Engine.now eng)
+
+(* ---------------- Worlds ---------------- *)
+
+(* A speculative sender (assumes its own completion) sends to a receiver
+   with no assumptions: the receiver splits; when the sender resolves, one
+   world is eliminated. *)
+let worlds_scenario ~sender_completes =
+  let eng = Engine.create ~trace:true () in
+  let log = ref [] in
+  let spec = List.hd (Engine.fresh_pids eng 1) in
+  let recv =
+    Engine.spawn eng ~name:"recv" (fun ctx ->
+        let m = Engine.receive ctx () in
+        (* Wait for a later broadcast so both worlds live a while. *)
+        let m2 = Engine.receive ctx () in
+        log :=
+          (Pid.to_int (Engine.self ctx), Payload.get_int m.Message.payload,
+           Payload.get_int m2.Message.payload)
+          :: !log)
+  in
+  ignore
+    (Engine.spawn eng ~pid:spec ~name:"spec"
+       ~predicate:(Predicate.make ~must_complete:[ spec ] ~must_fail:[])
+       (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.send ctx recv (Payload.int 100);
+         Engine.delay ctx 1.;
+         if not sender_completes then Engine.abort ctx "speculation failed"));
+  ignore
+    (Engine.spawn eng ~name:"late" (fun ctx ->
+         Engine.delay ctx 10.;
+         Engine.send ctx recv (Payload.int 200)));
+  Engine.run eng;
+  (eng, recv, !log)
+
+let test_worlds_split_created () =
+  let eng, recv, _ = worlds_scenario ~sender_completes:true in
+  let splits =
+    Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Split { original; _ } -> Pid.equal original recv
+      | _ -> false)
+  in
+  check Alcotest.int "one split" 1 splits
+
+let test_worlds_sender_completes () =
+  let _, _, log = worlds_scenario ~sender_completes:true in
+  (* Only the accepting world survives: it saw 100 then 200. *)
+  match log with
+  | [ (_, 100, 200) ] -> ()
+  | _ -> Alcotest.failf "unexpected worlds outcome (%d entries)" (List.length log)
+
+let test_worlds_sender_fails () =
+  let _, _, log = worlds_scenario ~sender_completes:false in
+  (* Only the rejecting world survives: it never saw 100; it saw 200 as its
+     first message and then blocks — so no log entry with 100. *)
+  check Alcotest.bool "accepting world died" true
+    (not (List.exists (fun (_, first, _) -> first = 100) log))
+
+let test_worlds_clone_replays_state () =
+  (* The clone must reconstruct local OCaml state via replay: a counter
+     incremented before the split must be visible in the surviving clone.
+     In the clone's world the speculative message never existed, so its
+     first receive consumes the later broadcast instead. *)
+  let eng = mk () in
+  let spec = List.hd (Engine.fresh_pids eng 1) in
+  let recorded = ref [] in
+  let recv =
+    Engine.spawn eng ~name:"recv" (fun ctx ->
+        let local = ref 0 in
+        Engine.delay ctx 0.5;
+        incr local;
+        incr local;
+        let m = Engine.receive ctx () in
+        recorded := (!local, Payload.get_int m.Message.payload) :: !recorded)
+  in
+  ignore
+    (Engine.spawn eng ~pid:spec
+       ~predicate:(Predicate.make ~must_complete:[ spec ] ~must_fail:[])
+       (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.send ctx recv (Payload.int 1);
+         (* Fail only after the message has been delivered and split. *)
+         Engine.delay ctx 1.;
+         Engine.abort ctx "fails -> accepting world dies"));
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         Engine.delay ctx 5.;
+         Engine.send ctx recv (Payload.int 2)));
+  Engine.run eng;
+  (* The accepting world recorded (2, 1) before dying; the rejecting clone
+     must have replayed the increments and recorded (2, 2). *)
+  check Alcotest.bool "clone replayed local state" true
+    (List.mem (2, 2) !recorded);
+  check Alcotest.bool "original saw speculative message" true
+    (List.mem (2, 1) !recorded)
+
+let test_oblivious_receiver_never_splits () =
+  let eng = Engine.create ~trace:true () in
+  let spec = List.hd (Engine.fresh_pids eng 1) in
+  let got = ref 0 in
+  let recv =
+    Engine.spawn eng ~oblivious:true ~name:"service" (fun ctx ->
+        let m = Engine.receive ctx () in
+        got := Payload.get_int m.Message.payload)
+  in
+  ignore
+    (Engine.spawn eng ~pid:spec
+       ~predicate:(Predicate.make ~must_complete:[ spec ] ~must_fail:[])
+       (fun ctx -> Engine.send ctx recv (Payload.int 5)));
+  Engine.run eng;
+  check Alcotest.int "accepted" 5 !got;
+  check Alcotest.int "no splits" 0
+    (Trace.count (Engine.trace eng) ~f:(function Trace.Split _ -> true | _ -> false))
+
+let test_conflicting_message_ignored () =
+  let eng = Engine.create ~trace:true () in
+  let pids = Engine.fresh_pids eng 2 in
+  let a = List.nth pids 0 and b = List.nth pids 1 in
+  let got = ref None in
+  (* Receiver already assumes b fails; a message from b (which assumes its
+     own completion) must be ignored. *)
+  let recv =
+    Engine.spawn eng ~predicate:(Predicate.make ~must_complete:[] ~must_fail:[ b ])
+      (fun ctx ->
+        let m = Engine.receive_timeout ctx ~timeout:5. () in
+        got := Option.map (fun m -> Payload.get_int m.Message.payload) m)
+  in
+  ignore
+    (Engine.spawn eng ~pid:b
+       ~predicate:(Predicate.make ~must_complete:[ b ] ~must_fail:[])
+       (fun ctx -> Engine.send ctx recv (Payload.int 666)));
+  ignore (Engine.spawn eng ~pid:a (fun _ -> ()));
+  Engine.run eng;
+  check Alcotest.bool "conflicting message never accepted" true (!got = None)
+
+let test_deferred_fate_resolution () =
+  (* A process that exits ok while assuming another completes gets its fate
+     recorded only when that other resolves. *)
+  let eng = Engine.create ~trace:true () in
+  let pids = Engine.fresh_pids eng 1 in
+  let dep = List.hd pids in
+  let waiter =
+    Engine.spawn eng
+      ~predicate:(Predicate.make ~must_complete:[ dep ] ~must_fail:[])
+      (fun ctx -> Engine.delay ctx 1.)
+  in
+  ignore (Engine.spawn eng ~pid:dep (fun ctx -> Engine.delay ctx 5.));
+  Engine.run eng;
+  check Alcotest.bool "waiter completed after dep" true
+    (Fate_registry.fate (Engine.registry eng) waiter = Some Predicate.Completed);
+  let deferred =
+    Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Fate_deferred p -> Pid.equal p waiter
+      | _ -> false)
+  in
+  check Alcotest.int "fate was deferred first" 1 deferred
+
+let test_dead_world_cascade () =
+  (* c assumes b completes; b assumes a completes; a fails: both die. *)
+  let eng = mk () in
+  let pids = Engine.fresh_pids eng 3 in
+  let a = List.nth pids 0 and b = List.nth pids 1 and c = List.nth pids 2 in
+  ignore
+    (Engine.spawn eng ~pid:c
+       ~predicate:(Predicate.make ~must_complete:[ b ] ~must_fail:[])
+       (fun ctx -> Engine.delay ctx 100.));
+  ignore
+    (Engine.spawn eng ~pid:b
+       ~predicate:(Predicate.make ~must_complete:[ a ] ~must_fail:[])
+       (fun ctx -> Engine.delay ctx 100.));
+  ignore
+    (Engine.spawn eng ~pid:a (fun ctx ->
+         Engine.delay ctx 1.;
+         Engine.abort ctx "a fails"));
+  Engine.run eng;
+  (match Engine.status eng b with
+  | Some (Engine.Eliminated _) -> ()
+  | _ -> Alcotest.fail "b should be eliminated");
+  (match Engine.status eng c with
+  | Some (Engine.Eliminated _) -> ()
+  | _ -> Alcotest.fail "c should be eliminated");
+  check cf "cascade happened at a's failure" 1. (Engine.now eng)
+
+let test_on_resolution_hooks () =
+  let eng = mk () in
+  let pids = Engine.fresh_pids eng 1 in
+  let dep = List.hd pids in
+  let outcome_ok = ref None and outcome_dead = ref None in
+  let certain_p =
+    Engine.spawn eng
+      ~predicate:(Predicate.make ~must_complete:[ dep ] ~must_fail:[])
+      (fun ctx -> Engine.delay ctx 10.)
+  in
+  let dead_p =
+    Engine.spawn eng
+      ~predicate:(Predicate.make ~must_complete:[] ~must_fail:[ dep ])
+      (fun ctx -> Engine.delay ctx 10.)
+  in
+  Engine.on_resolution eng certain_p (fun o -> outcome_ok := Some o);
+  Engine.on_resolution eng dead_p (fun o -> outcome_dead := Some o);
+  ignore (Engine.spawn eng ~pid:dep (fun ctx -> Engine.delay ctx 1.));
+  Engine.run eng;
+  check Alcotest.bool "certain hook" true (!outcome_ok = Some `Certain);
+  check Alcotest.bool "dead hook" true (!outcome_dead = Some `Dead)
+
+let test_random_bits_logged_deterministic () =
+  let run_once () =
+    let eng = Engine.create ~seed:123 ~trace:false () in
+    let vals = ref [] in
+    ignore
+      (Engine.spawn eng (fun ctx ->
+           for _ = 1 to 5 do
+             vals := Engine.random_bits ctx :: !vals
+           done));
+    Engine.run eng;
+    !vals
+  in
+  check Alcotest.bool "deterministic across runs" true (run_once () = run_once ())
+
+let test_parked_pids_at_quiescence () =
+  let eng = mk () in
+  let stuck = Engine.spawn eng (fun ctx -> ignore (Engine.receive ctx ())) in
+  Engine.run eng;
+  check Alcotest.(list int) "stuck receiver visible"
+    [ Pid.to_int stuck ]
+    (List.map Pid.to_int (Engine.parked_pids eng))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_eq_order;
+          Alcotest.test_case "fifo on ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "peek and clear" `Quick test_eq_peek_clear;
+          Alcotest.test_case "NaN rejected" `Quick test_eq_nan;
+          QCheck_alcotest.to_alcotest prop_eq_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
+          Alcotest.test_case "zero delay" `Quick test_zero_delay;
+          Alcotest.test_case "start delay" `Quick test_start_delay;
+          Alcotest.test_case "exit statuses" `Quick test_exit_statuses;
+          Alcotest.test_case "on_exit watcher" `Quick test_on_exit_watcher;
+          Alcotest.test_case "fresh pids / reuse" `Quick test_fresh_pids_and_spawn_pid;
+          Alcotest.test_case "run_for" `Quick test_run_for;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "infinite cores" `Quick test_cpu_infinite;
+          Alcotest.test_case "single core sharing" `Quick test_cpu_single_core_sharing;
+          Alcotest.test_case "two cores" `Quick test_cpu_two_cores;
+          Alcotest.test_case "unequal work" `Quick test_cpu_unequal_work;
+          Alcotest.test_case "cpu accounting" `Quick test_cpu_time_accounting;
+          Alcotest.test_case "excess cores" `Quick test_cpu_excess_cores;
+        ] );
+      ( "ipc",
+        [
+          Alcotest.test_case "send/receive payload" `Quick test_send_receive_payload;
+          Alcotest.test_case "fifo with mixed sizes" `Quick test_fifo_per_channel;
+          Alcotest.test_case "fifo ordering" `Quick test_fifo_ordering_ints;
+          Alcotest.test_case "tag filtering" `Quick test_tag_filtering;
+          Alcotest.test_case "receive timeout" `Quick test_receive_timeout;
+          Alcotest.test_case "delivery beats timeout" `Quick test_receive_timeout_delivery_wins;
+          Alcotest.test_case "message to dead pid" `Quick test_message_to_dead_pid_dropped;
+        ] );
+      ( "kill",
+        [
+          Alcotest.test_case "kill parked runs cleanup" `Quick test_kill_parked;
+          Alcotest.test_case "kill delaying" `Quick test_kill_delaying;
+          Alcotest.test_case "kill embryo" `Quick test_kill_embryo;
+          Alcotest.test_case "kill dead is noop" `Quick test_kill_dead_noop;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "at-most-once" `Quick test_ivar_at_most_once;
+          Alcotest.test_case "read blocks until fill" `Quick test_ivar_read_blocks;
+          Alcotest.test_case "read timeout" `Quick test_ivar_read_timeout;
+        ] );
+      ( "worlds",
+        [
+          Alcotest.test_case "split created" `Quick test_worlds_split_created;
+          Alcotest.test_case "sender completes: accepting world survives" `Quick
+            test_worlds_sender_completes;
+          Alcotest.test_case "sender fails: rejecting world survives" `Quick
+            test_worlds_sender_fails;
+          Alcotest.test_case "clone replays local state" `Quick
+            test_worlds_clone_replays_state;
+          Alcotest.test_case "oblivious service never splits" `Quick
+            test_oblivious_receiver_never_splits;
+          Alcotest.test_case "conflicting message ignored" `Quick
+            test_conflicting_message_ignored;
+        ] );
+      ( "fates",
+        [
+          Alcotest.test_case "deferred fate resolution" `Quick test_deferred_fate_resolution;
+          Alcotest.test_case "dead-world cascade" `Quick test_dead_world_cascade;
+          Alcotest.test_case "on_resolution hooks" `Quick test_on_resolution_hooks;
+          Alcotest.test_case "random bits deterministic" `Quick
+            test_random_bits_logged_deterministic;
+          Alcotest.test_case "parked pids at quiescence" `Quick
+            test_parked_pids_at_quiescence;
+        ] );
+    ]
