@@ -1,0 +1,134 @@
+(* altcheck: verify executions against the paper's invariants.
+
+     altcheck list                      enumerate scenarios and policies
+     altcheck run [--seeds N]           run the full scenario x policy matrix
+     altcheck run -s counters           restrict to named scenarios
+     altcheck run --dump-trace F.jsonl  dump a trace (first violating run,
+                                        else the last run) as JSON Lines
+
+   Exit code 0 when every run satisfies every invariant; otherwise the
+   exit code of the most severe violated class (see Report.class_exit_code). *)
+
+open Cmdliner
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let doc = "List the checkable scenarios and the policy matrix." in
+  let run () =
+    Printf.printf "scenarios:\n";
+    List.iter
+      (fun (s : Invariants.scenario) ->
+        Printf.printf "  %-12s%s\n" s.Invariants.sc_name
+          (if s.Invariants.uses_source then " (uses a source device)" else ""))
+      Invariants.default_scenarios;
+    Printf.printf "policies (%d):\n" (List.length Invariants.policy_matrix);
+    List.iter
+      (fun p -> Printf.printf "  %s\n" (Concurrent.describe p))
+      Invariants.policy_matrix
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let doc = "Run the invariant checkers over the scenario x policy matrix." in
+  let seeds =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per (scenario, policy) cell.")
+  in
+  let names =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario to check (repeatable); see $(b,altcheck list).")
+  in
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write one run's event trace as JSON Lines: the first violating \
+             run if any, otherwise the last run executed.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Print only violations and the summary.")
+  in
+  let run seeds names dump quiet =
+    let scenarios =
+      match names with
+      | [] -> Invariants.default_scenarios
+      | names ->
+        List.map
+          (fun n ->
+            match
+              List.find_opt
+                (fun s -> s.Invariants.sc_name = n)
+                Invariants.default_scenarios
+            with
+            | Some s -> s
+            | None ->
+              Printf.eprintf "unknown scenario %S; try 'altcheck list'\n" n;
+              exit 1)
+          names
+    in
+    let runs = ref 0 in
+    let violations = ref [] in
+    let dumped_run = ref None in
+    List.iter
+      (fun sc ->
+        List.iter
+          (fun policy ->
+            for seed = 1 to seeds do
+              let rr, vs = Invariants.run_checked sc ~policy ~seed in
+              incr runs;
+              (match (!dumped_run, vs) with
+              | Some (_, true), _ -> () (* keep the first violating run *)
+              | _, (_ :: _ as _vs) -> dumped_run := Some (rr, true)
+              | _, [] -> dumped_run := Some (rr, false));
+              violations := !violations @ vs
+            done;
+            if not quiet then
+              Printf.printf "%-10s %-44s %d seeds  %s\n%!" sc.Invariants.sc_name
+                (Concurrent.describe policy) seeds
+                (match
+                   List.filter
+                     (fun v -> v.Report.scenario = sc.Invariants.sc_name
+                               && v.Report.policy = Concurrent.describe policy)
+                     !violations
+                 with
+                | [] -> "ok"
+                | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs)))
+          Invariants.policy_matrix)
+      scenarios;
+    List.iter
+      (fun v -> Format.printf "%a@." Report.pp_violation v)
+      !violations;
+    Printf.printf "%d runs, %d violations\n" !runs (List.length !violations);
+    (match (dump, !dumped_run) with
+    | Some file, Some (rr, violating) ->
+      let oc =
+        try open_out file
+        with Sys_error m ->
+          Printf.eprintf "cannot write trace: %s\n" m;
+          exit 1
+      in
+      output_string oc (Trace.to_jsonl (Engine.trace rr.Invariants.engine));
+      close_out oc;
+      Printf.printf "trace of %s run (%s, %s, seed %d) written to %s\n"
+        (if violating then "first violating" else "last")
+        rr.Invariants.scenario.Invariants.sc_name
+        (Concurrent.describe rr.Invariants.policy)
+        rr.Invariants.seed file
+    | Some _, None | None, _ -> ());
+    exit (Report.exit_code !violations)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ seeds $ names $ dump $ quiet)
+
+let () =
+  let doc = "Check executions against the transparency paper's invariants" in
+  let info = Cmd.info "altcheck" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

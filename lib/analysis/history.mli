@@ -1,0 +1,61 @@
+(** Structured views over an execution trace.
+
+    The checkers in {!Invariants} ask questions like "how many [Sync_won]
+    events does this pid have" or "what was this process's exit status";
+    this module answers them from one pass over a {!Trace.t}, so that each
+    checker reads like the invariant it verifies. *)
+
+type t
+
+val of_trace : Trace.t -> t
+
+(** {2 Process identity} *)
+
+val name_of : t -> Pid.t -> string option
+(** Spawn-time name, if the pid was spawned inside the traced window. *)
+
+val parent_of : t -> Pid.t -> Pid.t option
+
+val spawned : t -> Pid.t list
+(** All spawned pids, in spawn order. *)
+
+(** {2 Exits} *)
+
+(** Parsed form of the exit-status strings recorded by the engine. *)
+type exit_class =
+  | Ok_exit
+  | Failed_exit of string
+  | Crashed_exit of string
+  | Eliminated_exit of string
+
+val classify_exit : string -> exit_class
+(** Raises [Invalid_argument] on a string the engine never produces. *)
+
+val exits_of : t -> Pid.t -> string list
+(** The raw statuses of every [Exited] event for the pid (a well-formed
+    trace has at most one). *)
+
+(** {2 Synchronisation and rendezvous} *)
+
+val sync_wins : t -> (Pid.t * int) list
+(** [(pid, alternative index)] of every [Sync_won] event, in order. *)
+
+val sync_lates : t -> (Pid.t * int) list
+val absorbs : t -> (Pid.t * Pid.t) list
+(** [(parent, child)] of every [Absorbed] event. *)
+
+(** {2 Worlds} *)
+
+val accepts : t -> (Pid.t * Predicate.t * Message.t) list
+(** [(dest, dest predicate at acceptance, message)] of every [Accepted]
+    event. *)
+
+val fates : t -> (Pid.t * Predicate.fate) list
+val kills : t -> (Pid.t * string) list
+(** [(pid, reason)] of every [Killed] event (dead-world sweep kills; direct
+    eliminations appear only as [Exited]). *)
+
+val sent : t -> Message.t list
+
+val count_sent_tag : t -> tag:string -> int
+val count_accept_tag : t -> tag:string -> dest_ok:(Pid.t -> bool) -> int

@@ -1,0 +1,89 @@
+(** The paper's invariants, checked against whole executions.
+
+    Each checker consumes a finished run of {!Concurrent.run_toplevel} —
+    engine, trace, report — and verifies one family of properties from
+    Smith & Maguire's transparency argument:
+
+    - {!check_at_most_once}: exactly one alternative wins the
+      synchronisation, every other synchroniser is told it is too late,
+      and the winner's state is absorbed exactly once (section 3.2);
+    - {!check_transparency}: the surviving address space, result value and
+      source output are identical to a fresh {e sequential} execution of
+      the winning alternative alone (section 3);
+    - {!check_world}: no process accepted a message whose sending predicate
+      conflicts with its own, fates are immutable, and falsified worlds
+      were eliminated (sections 3.3-3.4);
+    - {!check_elimination}: every spawned alternative exits exactly once,
+      only the winner succeeds, and synchronisation losers abort
+      (section 3.2.1);
+    - {!check_accounting}: the report's [wasted_cpu], [sync_messages] and
+      [child_cow_copies] reconcile with the engine's CPU ledger, the
+      message trace and the frame store (section 4).
+
+    {!check_all} additionally runs {!Race.check_isolation} and
+    {!Race.check_sources}. *)
+
+(** A checkable workload: how to seed the parent's state and build the
+    block's alternatives, deterministically from a seed. *)
+type scenario = {
+  sc_name : string;
+  uses_source : bool;
+  source_script : string list;  (** Input fed to the device, if any. *)
+  prepare : Engine.t -> Address_space.t -> unit;
+      (** Seed the parent's address space before the block runs. *)
+  alts :
+    Engine.t -> seed:int -> source:Source.t option -> int Alternative.t list;
+      (** Build the alternatives. Must be deterministic in [seed] (use
+          {!Rng}), so the transparency checker can re-execute the winner
+          in a fresh engine. *)
+}
+
+(** One finished, checkable execution. *)
+type run = {
+  engine : Engine.t;  (** Quiescent after the block. *)
+  space : Address_space.t;  (** The parent's (preserved) address space. *)
+  source : Source.t option;
+  report : int Concurrent.report;
+  policy : Concurrent.policy;
+  scenario : scenario;
+  seed : int;
+  alts_count : int;
+}
+
+val run_scenario : scenario -> policy:Concurrent.policy -> seed:int -> run
+(** Execute the scenario under the policy: fresh engine
+    ({!Cost_model.att_3b2}), tracked parent space, block run to
+    quiescence via {!Concurrent.run_toplevel}. *)
+
+val check_at_most_once : run -> Report.violation list
+val check_transparency : run -> Report.violation list
+val check_world : run -> Report.violation list
+val check_elimination : run -> Report.violation list
+val check_accounting : run -> Report.violation list
+
+val check_all : run -> Report.violation list
+(** All five checkers plus the {!Race} checkers, concatenated. *)
+
+val run_checked :
+  scenario -> policy:Concurrent.policy -> seed:int -> run * Report.violation list
+(** {!run_scenario} followed by {!check_all}. *)
+
+val default_scenarios : scenario list
+(** [counters] (racing writers over shared pages), [guarded] (one closed
+    guard, one failing body), [teletype] (source-device reads and gated
+    writes), [all-fail] (every alternative fails). *)
+
+val policy_matrix : Concurrent.policy list
+(** Every combination of elimination strategy (3) x synchronisation mode
+    (local latch, 3-node consensus) x guard placement (4), local
+    placement: 24 policies. *)
+
+val run_matrix :
+  ?seeds:int ->
+  ?scenarios:scenario list ->
+  ?policies:Concurrent.policy list ->
+  unit ->
+  Report.violation list * int
+(** Run every (scenario, policy, seed in [1..seeds]) combination (default
+    seeds per cell: 5) and collect all violations. Returns the violations
+    and the number of runs executed. *)

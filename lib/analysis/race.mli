@@ -1,0 +1,29 @@
+(** Race detection over page access sets.
+
+    With {!Address_space.set_tracking} enabled before an alternative block,
+    every sibling's page map records which virtual pages it read and which
+    physical frames it wrote. Copy-on-write isolation means sibling writes
+    must always land in {e distinct} frames (each write to a shared frame is
+    privatised first, and the store never reuses frame ids) — so any
+    [(vpage, frame id)] pair appearing in two siblings' write logs is a
+    mutation of shared state visible across the mutual-exclusion boundary. *)
+
+val check_isolation :
+  Engine.t ->
+  children:Pid.t list ->
+  scenario:string ->
+  policy:string ->
+  seed:int ->
+  Report.violation list
+(** Pairwise-intersect the write logs of the children's address spaces.
+    Children without a space, or with tracking off, contribute nothing. *)
+
+val check_sources :
+  Source.t ->
+  scenario:string ->
+  policy:string ->
+  seed:int ->
+  Report.violation list
+(** Every line emitted on the device must have been written (or flushed) by
+    a process that was certain at emission time (section 3.4.2: speculative
+    processes "cannot interface with sources"). *)

@@ -1,0 +1,68 @@
+type check_class =
+  | At_most_once
+  | Transparency
+  | World
+  | Elimination
+  | Isolation
+  | Sources
+  | Accounting
+
+let class_name = function
+  | At_most_once -> "at-most-once"
+  | Transparency -> "transparency"
+  | World -> "world"
+  | Elimination -> "elimination"
+  | Isolation -> "isolation"
+  | Sources -> "sources"
+  | Accounting -> "accounting"
+
+let class_provenance = function
+  | At_most_once | Transparency | Elimination | Accounting ->
+    "lib/core/concurrent.ml"
+  | World -> "lib/runtime/engine.ml"
+  | Isolation -> "lib/pages/page_map.ml"
+  | Sources -> "lib/sources/source.ml"
+
+let class_exit_code = function
+  | At_most_once -> 10
+  | Transparency -> 11
+  | World -> 12
+  | Elimination -> 13
+  | Isolation -> 14
+  | Sources -> 15
+  | Accounting -> 16
+
+let severity = function
+  | At_most_once -> 0
+  | Transparency -> 1
+  | World -> 2
+  | Elimination -> 3
+  | Isolation -> 4
+  | Sources -> 5
+  | Accounting -> 6
+
+type violation = {
+  check : check_class;
+  scenario : string;
+  policy : string;
+  seed : int;
+  detail : string;
+}
+
+let violation check ~scenario ~policy ~seed detail =
+  { check; scenario; policy; seed; detail }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%s: %s (scenario %s, policy %s, seed %d)"
+    (class_provenance v.check) (class_name v.check) v.detail v.scenario
+    v.policy v.seed
+
+let exit_code = function
+  | [] -> 0
+  | vs ->
+    let worst =
+      List.fold_left
+        (fun acc v -> if severity v.check < severity acc then v.check else acc)
+        (List.hd vs).check vs
+    in
+    class_exit_code worst

@@ -1,0 +1,59 @@
+(** Structured findings of the analysis layer.
+
+    Every checker names its findings with a {!check_class}; the classes map
+    to distinct process exit codes so that scripted runs of [altcheck] can
+    tell {e which} invariant of the paper broke without parsing output. *)
+
+(** The invariant families, in severity order (most fundamental first). *)
+type check_class =
+  | At_most_once
+      (** Exactly one alternative synchronises; everyone else is too late
+          (section 3.2: the at-most-once synchronisation). *)
+  | Transparency
+      (** The surviving state and result are bit-identical to a sequential
+          execution of the winning alternative alone (section 3). *)
+  | World
+      (** Predicate/world soundness: no acceptance of a conflicting
+          message, immutable fates, falsified worlds eliminated
+          (sections 3.3-3.4). *)
+  | Elimination
+      (** Every spawned alternative is accounted for: one exit each, only
+          the winner succeeds, losers terminate (section 3.2.1). *)
+  | Isolation
+      (** No two live siblings mutate the same physical frame: sink state
+          updates are privatised copy-on-write (section 3.3). *)
+  | Sources
+      (** No speculative process's output reaches a source device
+          (section 3.4.2). *)
+  | Accounting
+      (** The execution report's overhead counters reconcile with the
+          engine's own measurements (section 4). *)
+
+val class_name : check_class -> string
+(** Short stable identifier, e.g. ["at-most-once"]. *)
+
+val class_provenance : check_class -> string
+(** The source file whose logic the class verifies,
+    e.g. ["lib/core/concurrent.ml"]. *)
+
+val class_exit_code : check_class -> int
+(** Distinct nonzero process exit code per class (10-16). *)
+
+type violation = {
+  check : check_class;
+  scenario : string;  (** Which workload tripped it. *)
+  policy : string;  (** {!Concurrent.describe} of the policy in force. *)
+  seed : int;
+  detail : string;  (** Human-readable account of the failure. *)
+}
+
+val violation :
+  check_class -> scenario:string -> policy:string -> seed:int -> string ->
+  violation
+
+val pp_violation : Format.formatter -> violation -> unit
+(** One line: [file:check: detail (scenario, policy, seed)]. *)
+
+val exit_code : violation list -> int
+(** [0] for no violations; otherwise the exit code of the most severe
+    class present (severity = declaration order of {!check_class}). *)

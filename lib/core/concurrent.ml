@@ -34,6 +34,35 @@ let default_policy =
     placement = Local_spawn;
   }
 
+let describe policy =
+  let elim =
+    match policy.elimination with
+    | Sync_elim -> "sync-elim"
+    | Async_elim -> "async-elim"
+    | No_elim -> "no-elim"
+  in
+  let sync =
+    match policy.sync with
+    | Local -> "local-latch"
+    | Consensus { nodes; crashed; _ } ->
+      if crashed = [] then Printf.sprintf "consensus(%d)" nodes
+      else Printf.sprintf "consensus(%d,%d crashed)" nodes (List.length crashed)
+  in
+  let guards =
+    match policy.guards with
+    | Guard_in_child -> "guard-in-child"
+    | Guard_before_spawn -> "guard-before-spawn"
+    | Guard_at_sync -> "guard-at-sync"
+    | Guard_redundant -> "guard-redundant"
+  in
+  let placement =
+    match policy.placement with
+    | Local_spawn -> "local"
+    | Remote_spawn -> "remote"
+    | Remote_on_demand -> "remote-on-demand"
+  in
+  String.concat "/" [ elim; sync; guards; placement ]
+
 type 'a report = {
   outcome : 'a Alt_block.outcome;
   winner : Pid.t option;

@@ -86,6 +86,11 @@ val default_policy : policy
 (** Synchronous elimination, local latch, guard in the child, local
     copy-on-write spawning, effectively-infinite timeout. *)
 
+val describe : policy -> string
+(** A compact human-readable rendering,
+    e.g. ["sync-elim/local-latch/guard-in-child/local"]. Used by altcheck
+    and the experiment tables to label policy-matrix rows. *)
+
 (** Everything a caller (or an experiment) wants to know about one block
     execution. *)
 type 'a report = {

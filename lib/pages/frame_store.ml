@@ -1,4 +1,4 @@
-type frame = { fid : int; buf : bytes; mutable refs : int }
+type frame = { mutable fid : int; buf : bytes; mutable refs : int }
 
 type t = {
   page_size : int;
@@ -21,6 +21,11 @@ let fresh t =
     t.free <- rest;
     Bytes.fill f.buf 0 t.page_size '\000';
     f.refs <- 1;
+    (* A recycled frame is a new identity: frame ids are never reused, so
+       an id recorded in an access log always denotes one physical write
+       target (the isolation checker depends on this). *)
+    f.fid <- t.next_id;
+    t.next_id <- t.next_id + 1;
     f
   | [] ->
     let f = { fid = t.next_id; buf = Bytes.make t.page_size '\000'; refs = 1 } in

@@ -39,7 +39,9 @@ val data : frame -> bytes
     exclusively (reference count 1); {!Page_map} enforces this. *)
 
 val id : frame -> int
-(** Stable identity of the frame, for tests and traces. *)
+(** Stable identity of the frame, for tests, traces, and the analysis
+    layer's access logs. Ids are never reused: a frame recycled through the
+    free list comes back under a fresh id. *)
 
 val live_frames : t -> int
 (** Number of frames currently referenced by at least one map. *)

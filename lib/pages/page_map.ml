@@ -5,11 +5,17 @@ type t = {
   mutable writes : int;
   mutable reads : int;
   mutable released : bool;
+  (* Access logs survive release so that the analysis layer can audit the
+     page behaviour of eliminated processes post mortem. *)
+  mutable track : bool;
+  reads_log : (int, unit) Hashtbl.t;  (* vpage touched by a read *)
+  writes_log : (int, int) Hashtbl.t;  (* vpage -> id of the frame written *)
 }
 
 let create store =
   { store; table = Hashtbl.create 64; cow_copies = 0; writes = 0; reads = 0;
-    released = false }
+    released = false; track = false; reads_log = Hashtbl.create 8;
+    writes_log = Hashtbl.create 8 }
 
 let store t = t.store
 let page_size t = Frame_store.page_size t.store
@@ -25,7 +31,8 @@ let fork parent =
       Hashtbl.replace table vpage frame)
     parent.table;
   { store = parent.store; table; cow_copies = 0; writes = 0; reads = 0;
-    released = false }
+    released = false; track = parent.track; reads_log = Hashtbl.create 8;
+    writes_log = Hashtbl.create 8 }
 
 let mapped_pages t =
   check t;
@@ -48,6 +55,7 @@ let read t ~vpage ~off ~len =
   check t;
   bounds_check t ~off ~len;
   t.reads <- t.reads + 1;
+  if t.track then Hashtbl.replace t.reads_log vpage ();
   match Hashtbl.find_opt t.table vpage with
   | None -> Bytes.make len '\000'
   | Some f -> Bytes.sub (Frame_store.data f) off len
@@ -73,6 +81,7 @@ let write t ~vpage ~off ~src ~copied =
       f'
     | Some f -> f
   in
+  if t.track then Hashtbl.replace t.writes_log vpage (Frame_store.id frame);
   Bytes.blit src 0 (Frame_store.data frame) off len
 
 let release t =
@@ -92,12 +101,29 @@ let absorb ~parent ~child =
   parent.cow_copies <- parent.cow_copies + child.cow_copies;
   parent.writes <- parent.writes + child.writes;
   parent.reads <- parent.reads + child.reads;
+  (* The surviving timeline inherits the winner's access history; the
+     child keeps its own copy for post-mortem analysis. *)
+  Hashtbl.iter (fun k () -> Hashtbl.replace parent.reads_log k ()) child.reads_log;
+  Hashtbl.iter (fun k v -> Hashtbl.replace parent.writes_log k v) child.writes_log;
   child.table <- Hashtbl.create 1;
   child.released <- true
 
 let cow_copies t = t.cow_copies
 let writes t = t.writes
 let reads t = t.reads
+
+let set_tracking t b = t.track <- b
+let tracking t = t.track
+
+(* Deliberately usable after [release]: eliminated siblings are audited
+   through these logs. *)
+let read_log t =
+  Hashtbl.fold (fun vpage () acc -> vpage :: acc) t.reads_log []
+  |> List.sort compare
+
+let write_log t =
+  Hashtbl.fold (fun vpage fid acc -> (vpage, fid) :: acc) t.writes_log []
+  |> List.sort compare
 
 let mapped_vpages t =
   check t;

@@ -57,6 +57,30 @@ val cow_copies : t -> int
 val writes : t -> int
 val reads : t -> int
 
+(** {2 Access-set recording}
+
+    When tracking is enabled, the map records which virtual pages were read
+    and which were written (together with the identity of the frame each
+    write landed in). The analysis layer uses these logs for isolation
+    checking: two sibling maps whose write logs contain the same frame id
+    for a page have mutated shared state without copy-on-write
+    privatisation. Tracking is off by default; {!fork} inherits the
+    parent's setting. *)
+
+val set_tracking : t -> bool -> unit
+val tracking : t -> bool
+
+val read_log : t -> int list
+(** Virtual pages read since creation, ascending. Unlike the page-table
+    accessors, this remains usable after {!release} (post-mortem audit of
+    eliminated processes). Empty unless tracking was enabled. *)
+
+val write_log : t -> (int * int) list
+(** [(vpage, frame_id)] pairs: the frame most recently written through this
+    map for each written page, ascending by page. Frame ids are never
+    reused by the store, so equal ids across sibling maps mean writes to
+    the same physical frame. Usable after {!release}. *)
+
 val mapped_vpages : t -> int list
 (** Virtual page numbers with a materialised frame, ascending. *)
 

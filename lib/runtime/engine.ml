@@ -150,6 +150,12 @@ let status_string = function
   | Crashed r -> "crashed: " ^ r
   | Eliminated r -> "eliminated: " ^ r
 
+let proc_state_string = function
+  | Embryo -> "embryo"
+  | Running -> "running"
+  | Suspended -> "suspended"
+  | Dead st -> "dead (" ^ status_string st ^ ")"
+
 (* ------------------------------------------------------------------ *)
 (* CPU: egalitarian processor sharing over [cores] processors.         *)
 
@@ -431,7 +437,7 @@ and try_receive t pcb tag : Message.t option =
       else if pcb.oblivious then begin
         (* Kernel-level services (consensus voters, devices) accept every
            message: they are part of process management, not of any world. *)
-        tr t (Trace.Accepted { dest = pcb.pid; msg = m });
+        tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
         pcb.mailbox <- List.rev_append acc rest;
         Some m
       end
@@ -444,7 +450,7 @@ and try_receive t pcb tag : Message.t option =
           scan acc rest
         | `Live s ->
           if Predicate.implies pcb.predicate s then begin
-            tr t (Trace.Accepted { dest = pcb.pid; msg = m });
+            tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
             pcb.mailbox <- List.rev_append acc rest;
             Some m
           end
@@ -511,13 +517,17 @@ and accept_with_split t pcb m s =
     `Deferred
 
 and adopt_sender_assumptions t pcb m s =
+  (* The trace records the predicate the receiver held when it decided to
+     accept, not the conjoined one: the analysis layer re-derives the
+     acceptance decision from it. *)
+  let pred_at_accept = pcb.predicate in
   let p = Predicate.conjoin pcb.predicate s in
   let p =
     if Predicate.mem_completes p m.Message.sender then p
     else Predicate.assume_completes p m.Message.sender
   in
   pcb.predicate <- p;
-  tr t (Trace.Accepted { dest = pcb.pid; msg = m })
+  tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pred_at_accept })
 
 and rescan_parked t pcb =
   match pcb.park with
@@ -573,7 +583,10 @@ and start_pcb t pcb =
       pcb.state <- Running;
       tr t (Trace.Started pcb.pid);
       run_body t pcb)
-  | Running | Suspended -> assert false
+  | (Running | Suspended) as st ->
+    failwith
+      (Format.asprintf "Engine.start_pcb: process %a (%s) already started: %s"
+         Pid.pp pcb.pid pcb.name (proc_state_string st))
 
 and run_body t pcb =
   let ctx = { engine = t; pcb } in
@@ -935,6 +948,19 @@ let cpu_time_of t pid =
 let total_cpu_time t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.cpu_used 0.
 
 let logical_of t pid = Option.map (fun p -> p.logical) (find_pcb t pid)
+let space_of t pid = Option.bind (find_pcb t pid) (fun p -> p.space)
+
+let certain_of t pid =
+  match Fate_registry.fate t.reg pid with
+  | Some Predicate.Completed -> true
+  | Some Predicate.Failed -> false
+  | None -> (
+    match find_pcb t pid with
+    | None -> false
+    | Some pcb -> (
+      match Fate_registry.normalize t.reg pcb.predicate with
+      | `Live p -> Predicate.is_certain p
+      | `Dead -> false))
 let abort _ctx reason = raise (Abort_process reason)
 let random_bits _ctx = Effect.perform E_random
 let my_predicate ctx = ctx.pcb.predicate
@@ -970,7 +996,13 @@ module Ivar = struct
       Effect.perform (E_park (fun ~wake -> iv.waiters <- iv.waiters @ [ wake ]));
       match iv.value with
       | Some v -> v
-      | None -> assert false)
+      | None ->
+        failwith
+          (Format.asprintf
+             "Engine.Ivar.read: process %a (%s, %s) woken with the ivar still \
+              empty"
+             Pid.pp ctx.pcb.pid ctx.pcb.name
+             (proc_state_string ctx.pcb.state)))
 
   let read_timeout ctx iv ~timeout =
     disable_cloning ctx.pcb;

@@ -224,3 +224,16 @@ val logical_of : t -> Pid.t -> Pid.t option
 (** The logical identity of a physical process: differs from the pid only
     for world-split clones, which keep the identity of the original
     receiver. *)
+
+val space_of : t -> Pid.t -> Address_space.t option
+(** The pid's address space, if it was spawned with one. Works after the
+    process has exited (the process table is retained for post-mortem
+    inspection), though the space itself may have been released unless
+    {!preserve_space} was called. *)
+
+val certain_of : t -> Pid.t -> bool
+(** Engine-level counterpart of {!is_certain}: whether the pid's existence
+    is free of unresolved assumptions {e right now}. A pid whose fate is
+    recorded as completed is certain; a failed or dead-world pid is not.
+    Used by the source-device layer to stamp emissions, and by the analysis
+    layer to audit them. *)

@@ -4,7 +4,7 @@ type event =
   | Exited of { pid : Pid.t; status : string }
   | Sent of { msg : Message.t }
   | Delivered of { dest : Pid.t; msg : Message.t }
-  | Accepted of { dest : Pid.t; msg : Message.t }
+  | Accepted of { dest : Pid.t; msg : Message.t; dest_pred : Predicate.t }
   | Ignored of { dest : Pid.t; msg : Message.t; reason : string }
   | Split of { original : Pid.t; clone : Pid.t; on : Message.t }
   | Killed of { pid : Pid.t; reason : string }
@@ -29,6 +29,8 @@ let find_all t ~f = List.filter (fun (_, e) -> f e) (events t)
 let count t ~f = List.length (find_all t ~f)
 let clear t = t.events <- []
 
+let replace t events = t.events <- List.rev events
+
 let pp_event ppf = function
   | Spawned { pid; parent; name } ->
     Format.fprintf ppf "spawn %a%s %s" Pid.pp pid
@@ -41,8 +43,9 @@ let pp_event ppf = function
   | Sent { msg } -> Format.fprintf ppf "send %a" Message.pp msg
   | Delivered { dest; msg } ->
     Format.fprintf ppf "deliver to %a: %a" Pid.pp dest Message.pp msg
-  | Accepted { dest; msg } ->
-    Format.fprintf ppf "accept by %a: %a" Pid.pp dest Message.pp msg
+  | Accepted { dest; msg; dest_pred } ->
+    Format.fprintf ppf "accept by %a %a: %a" Pid.pp dest Predicate.pp dest_pred
+      Message.pp msg
   | Ignored { dest; msg; reason } ->
     Format.fprintf ppf "ignore by %a (%s): %a" Pid.pp dest reason Message.pp msg
   | Split { original; clone; on } ->
@@ -66,3 +69,104 @@ let dump ppf t =
   List.iter
     (fun (time, e) -> Format.fprintf ppf "[%10.6f] %a@." time pp_event e)
     (events t)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export (hand-rolled: no JSON library in the dependency set).  *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_pid p = string_of_int (Pid.to_int p)
+
+let json_pid_list set =
+  "[" ^ String.concat "," (List.map json_pid (Pid.Set.elements set)) ^ "]"
+
+let json_pred p =
+  Printf.sprintf "{\"completes\":%s,\"fails\":%s}"
+    (json_pid_list (Predicate.must_complete p))
+    (json_pid_list (Predicate.must_fail p))
+
+let json_msg (m : Message.t) =
+  Printf.sprintf
+    "{\"sender\":%s,\"dest\":%s,\"tag\":%s,\"seq\":%d,\"predicate\":%s,\"payload\":%s}"
+    (json_pid m.Message.sender) (json_pid m.Message.dest)
+    (json_str m.Message.tag) m.Message.seq
+    (json_pred m.Message.predicate)
+    (json_str (Payload.to_string m.Message.payload))
+
+let json_fields_of_event = function
+  | Spawned { pid; parent; name } ->
+    ( "spawned",
+      Printf.sprintf "\"pid\":%s,\"parent\":%s,\"name\":%s" (json_pid pid)
+        (match parent with None -> "null" | Some p -> json_pid p)
+        (json_str name) )
+  | Started pid -> ("started", Printf.sprintf "\"pid\":%s" (json_pid pid))
+  | Exited { pid; status } ->
+    ( "exited",
+      Printf.sprintf "\"pid\":%s,\"status\":%s" (json_pid pid) (json_str status) )
+  | Sent { msg } -> ("sent", Printf.sprintf "\"msg\":%s" (json_msg msg))
+  | Delivered { dest; msg } ->
+    ( "delivered",
+      Printf.sprintf "\"dest\":%s,\"msg\":%s" (json_pid dest) (json_msg msg) )
+  | Accepted { dest; msg; dest_pred } ->
+    ( "accepted",
+      Printf.sprintf "\"dest\":%s,\"dest_pred\":%s,\"msg\":%s" (json_pid dest)
+        (json_pred dest_pred) (json_msg msg) )
+  | Ignored { dest; msg; reason } ->
+    ( "ignored",
+      Printf.sprintf "\"dest\":%s,\"reason\":%s,\"msg\":%s" (json_pid dest)
+        (json_str reason) (json_msg msg) )
+  | Split { original; clone; on } ->
+    ( "split",
+      Printf.sprintf "\"original\":%s,\"clone\":%s,\"on\":%s" (json_pid original)
+        (json_pid clone) (json_msg on) )
+  | Killed { pid; reason } ->
+    ( "killed",
+      Printf.sprintf "\"pid\":%s,\"reason\":%s" (json_pid pid) (json_str reason) )
+  | Fate { pid; fate } ->
+    ( "fate",
+      Printf.sprintf "\"pid\":%s,\"fate\":%s" (json_pid pid)
+        (json_str
+           (match fate with
+           | Predicate.Completed -> "completed"
+           | Predicate.Failed -> "failed")) )
+  | Fate_deferred pid ->
+    ("fate_deferred", Printf.sprintf "\"pid\":%s" (json_pid pid))
+  | Absorbed { parent; child } ->
+    ( "absorbed",
+      Printf.sprintf "\"parent\":%s,\"child\":%s" (json_pid parent)
+        (json_pid child) )
+  | Sync_won { pid; index } ->
+    ( "sync_won",
+      Printf.sprintf "\"pid\":%s,\"index\":%d" (json_pid pid) index )
+  | Sync_late { pid; index } ->
+    ( "sync_late",
+      Printf.sprintf "\"pid\":%s,\"index\":%d" (json_pid pid) index )
+  | Note s -> ("note", Printf.sprintf "\"text\":%s" (json_str s))
+
+let event_to_json ~time e =
+  let kind, fields = json_fields_of_event e in
+  Printf.sprintf "{\"t\":%.9f,\"ev\":%s,%s}" time (json_str kind) fields
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (time, e) ->
+      Buffer.add_string buf (event_to_json ~time e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

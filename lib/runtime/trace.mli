@@ -10,7 +10,10 @@ type event =
   | Exited of { pid : Pid.t; status : string }
   | Sent of { msg : Message.t }
   | Delivered of { dest : Pid.t; msg : Message.t }
-  | Accepted of { dest : Pid.t; msg : Message.t }
+  | Accepted of { dest : Pid.t; msg : Message.t; dest_pred : Predicate.t }
+      (** [dest_pred] is the receiver's predicate {e before} it adopted any
+          of the sender's assumptions: the analysis layer audits acceptance
+          decisions against it. *)
   | Ignored of { dest : Pid.t; msg : Message.t; reason : string }
   | Split of { original : Pid.t; clone : Pid.t; on : Message.t }
   | Killed of { pid : Pid.t; reason : string }
@@ -36,5 +39,17 @@ val find_all : t -> f:(event -> bool) -> (float * event) list
 val count : t -> f:(event -> bool) -> int
 val clear : t -> unit
 
+val replace : t -> (float * event) list -> unit
+(** Replace the recorded history wholesale (oldest first). Used by the
+    checker's fault-seeding tests to hand the analysis layer a corrupted
+    history; not something the engine ever does. *)
+
 val pp_event : Format.formatter -> event -> unit
 val dump : Format.formatter -> t -> unit
+
+val event_to_json : time:float -> event -> string
+(** One event as a single-line JSON object [{"t":..., "ev":..., ...}]. *)
+
+val to_jsonl : t -> string
+(** The whole trace as JSON Lines (one {!event_to_json} line per event,
+    oldest first), for inspection and diffing outside the process. *)

@@ -5,7 +5,9 @@ type t = {
   read_buffer : (int, string) Hashtbl.t;  (* position -> value, consumed once *)
   mutable next_pos : int;  (* next script position to materialise *)
   cursors : (Pid.t, int) Hashtbl.t;  (* logical pid -> next read position *)
-  mutable out : (float * Pid.t * string) list;  (* emitted, newest first *)
+  mutable out : (float * Pid.t * string * bool) list;
+  (* emitted, newest first; the bool records whether the writer was certain
+     at the moment of emission (the transparency audit checks it) *)
   buffers : (Pid.t, string list ref) Hashtbl.t;  (* speculative writes, newest first *)
   gated : (Pid.t, unit) Hashtbl.t;  (* pids with a resolution watcher armed *)
   mutable discarded_ : int;
@@ -27,7 +29,9 @@ let create engine ~name =
 
 let name t = t.name_
 
-let emit t pid line = t.out <- (Engine.now t.engine, pid, line) :: t.out
+let emit t pid line =
+  let certain = Engine.certain_of t.engine pid in
+  t.out <- (Engine.now t.engine, pid, line, certain) :: t.out
 
 let flush_pid t pid =
   match Hashtbl.find_opt t.buffers pid with
@@ -86,7 +90,8 @@ let read ctx t =
 
 let feed t lines = t.script <- t.script @ lines
 
-let output t = List.rev t.out
+let output t = List.rev_map (fun (time, pid, line, _) -> (time, pid, line)) t.out
+let emissions t = List.rev t.out
 
 let pending t =
   Hashtbl.fold (fun pid lines acc -> (pid, List.rev !lines) :: acc) t.buffers []

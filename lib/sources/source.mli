@@ -41,6 +41,12 @@ val output : t -> (float * Pid.t * string) list
 (** Lines actually emitted, oldest first, with emission time and the
     process that (eventually) owned them. *)
 
+val emissions : t -> (float * Pid.t * string * bool) list
+(** Like {!output} but each line also carries whether its writer was
+    {e certain} at the moment of emission. A [false] flag is a violation of
+    the paper's source rule — the analysis layer's sources check looks for
+    exactly that. *)
+
 val pending : t -> (Pid.t * string list) list
 (** Buffered lines of still-speculative writers. *)
 

@@ -1,0 +1,166 @@
+(* Tests for the analysis layer: the clean matrix is violation-free, and
+   each seeded corruption of a recorded execution trips exactly the
+   intended checker with its distinct exit code. *)
+
+let check = Alcotest.check
+
+let sync_elim =
+  { Concurrent.default_policy with Concurrent.elimination = Concurrent.Sync_elim }
+
+let counters = List.hd Invariants.default_scenarios
+
+let class_names vs =
+  List.sort_uniq compare (List.map (fun v -> Report.class_name v.Report.check) vs)
+
+(* ---------------- clean matrix ---------------- *)
+
+let test_clean_matrix () =
+  let violations, runs = Invariants.run_matrix ~seeds:2 () in
+  check Alcotest.int "all cells ran"
+    (List.length Invariants.default_scenarios
+     * List.length Invariants.policy_matrix * 2)
+    runs;
+  List.iter (fun v -> Format.printf "%a@." Report.pp_violation v) violations;
+  check Alcotest.int "no violations" 0 (List.length violations);
+  check Alcotest.int "exit code" 0 (Report.exit_code violations)
+
+(* ---------------- seeded bugs ---------------- *)
+
+(* A second latch fill: some loser also records Sync_won, as if the
+   at-most-once synchronisation admitted two winners. *)
+let test_seeded_double_latch () =
+  let rr = Invariants.run_scenario counters ~policy:sync_elim ~seed:1 in
+  let tr = Engine.trace rr.Invariants.engine in
+  let loser =
+    List.find
+      (fun c ->
+        not (Option.equal Pid.equal (Some c) rr.Invariants.report.Concurrent.winner))
+      rr.Invariants.report.Concurrent.children
+  in
+  Trace.record tr
+    ~time:(Engine.now rr.Invariants.engine)
+    (Trace.Sync_won { pid = loser; index = 99 });
+  let vs = Invariants.check_all rr in
+  check Alcotest.bool "caught" true (vs <> []);
+  check Alcotest.(list string) "only the at-most-once checker fires"
+    [ "at-most-once" ] (class_names vs);
+  check Alcotest.int "exit code" 10 (Report.exit_code vs)
+
+(* A forged acceptance: the trace claims a process accepted a message whose
+   predicate contradicts the acceptor's own world. *)
+let test_seeded_forged_predicate () =
+  let rr = Invariants.run_scenario counters ~policy:sync_elim ~seed:2 in
+  let tr = Engine.trace rr.Invariants.engine in
+  let c0 = List.hd rr.Invariants.report.Concurrent.children in
+  let c1 = List.nth rr.Invariants.report.Concurrent.children 1 in
+  let msg =
+    Message.make ~sender:c0 ~dest:c1
+      ~predicate:(Predicate.make ~must_complete:[ c0 ] ~must_fail:[])
+      ~tag:"forged" ~seq:0 Payload.Unit
+  in
+  Trace.record tr
+    ~time:(Engine.now rr.Invariants.engine)
+    (Trace.Accepted
+       { dest = c1; msg;
+         dest_pred = Predicate.make ~must_complete:[] ~must_fail:[ c0 ] });
+  let vs = Invariants.check_all rr in
+  check Alcotest.int "caught once" 1 (List.length vs);
+  check Alcotest.(list string) "only the world checker fires" [ "world" ]
+    (class_names vs);
+  check Alcotest.int "exit code" 12 (Report.exit_code vs)
+
+(* A skipped elimination: a loser's exit vanishes from the record, as if the
+   block let an alternative escape. *)
+let test_seeded_skipped_elimination () =
+  let rr = Invariants.run_scenario counters ~policy:sync_elim ~seed:3 in
+  let tr = Engine.trace rr.Invariants.engine in
+  let loser =
+    List.find
+      (fun c ->
+        not (Option.equal Pid.equal (Some c) rr.Invariants.report.Concurrent.winner))
+      rr.Invariants.report.Concurrent.children
+  in
+  let kept =
+    List.filter
+      (fun (_, e) ->
+        match e with
+        | Trace.Exited { pid; _ } -> not (Pid.equal pid loser)
+        | _ -> true)
+      (Trace.events tr)
+  in
+  Trace.replace tr kept;
+  let vs = Invariants.check_all rr in
+  check Alcotest.int "caught once" 1 (List.length vs);
+  check Alcotest.(list string) "only the elimination checker fires"
+    [ "elimination" ] (class_names vs);
+  check Alcotest.int "exit code" 13 (Report.exit_code vs)
+
+(* ---------------- race detection ---------------- *)
+
+(* Two siblings sharing one (untracked-by-COW) address space: every write
+   lands in the same frames, which is exactly what the isolation checker
+   must flag. *)
+let test_isolation_shared_space () =
+  let eng = Engine.create ~seed:7 () in
+  let sp = Address_space.create (Engine.frame_store eng) (Engine.model eng) in
+  Address_space.set_tracking sp true;
+  let blocked ctx = ignore (Engine.receive ctx ()) in
+  let p1 = Engine.spawn eng ~space:sp ~name:"sib0" blocked in
+  let p2 = Engine.spawn eng ~space:sp ~name:"sib1" blocked in
+  Engine.run eng;
+  Address_space.write_bytes sp ~addr:0 (Bytes.make 16 'x');
+  let vs =
+    Race.check_isolation eng ~children:[ p1; p2 ] ~scenario:"shared-space"
+      ~policy:"manual" ~seed:7
+  in
+  check Alcotest.bool "shared frame flagged" true (vs <> []);
+  check Alcotest.(list string) "isolation class" [ "isolation" ] (class_names vs);
+  check Alcotest.int "exit code" 14 (Report.exit_code vs)
+
+(* ---------------- trace export ---------------- *)
+
+let test_trace_jsonl () =
+  let rr = Invariants.run_scenario counters ~policy:sync_elim ~seed:4 in
+  let tr = Engine.trace rr.Invariants.engine in
+  let s = Trace.to_jsonl tr in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  check Alcotest.int "one line per event" (List.length (Trace.events tr))
+    (List.length lines);
+  List.iter
+    (fun l ->
+      check Alcotest.bool "line is a JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      check Alcotest.bool "line carries a timestamp" true
+        (String.starts_with ~prefix:"{\"t\":" l))
+    lines;
+  check Alcotest.bool "records spawns" true
+    (List.exists (fun l -> String.length l > 0) lines
+     && List.exists
+          (fun l ->
+            let re = "\"ev\":\"spawned\"" in
+            let rec find i =
+              i + String.length re <= String.length l
+              && (String.sub l i (String.length re) = re || find (i + 1))
+            in
+            find 0)
+          lines)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "clean matrix has no violations" `Quick
+            test_clean_matrix;
+          Alcotest.test_case "seeded double latch fill -> exit 10" `Quick
+            test_seeded_double_latch;
+          Alcotest.test_case "seeded forged predicate -> exit 12" `Quick
+            test_seeded_forged_predicate;
+          Alcotest.test_case "seeded skipped elimination -> exit 13" `Quick
+            test_seeded_skipped_elimination;
+          Alcotest.test_case "shared-space race -> exit 14" `Quick
+            test_isolation_shared_space;
+          Alcotest.test_case "trace exports as JSON lines" `Quick
+            test_trace_jsonl;
+        ] );
+    ]
