@@ -33,9 +33,18 @@ let run_cmd =
       & info [ "e"; "experiment" ] ~docv:"ID"
           ~doc:"Experiment id (repeatable); see $(b,altbench list).")
   in
-  let run ids =
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parallel.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for per-trial fan-out (default: one per core). \
+             Never changes the printed tables.")
+  in
+  let run ids jobs =
     (match ids with
-    | [] -> Experiments.run_all Format.std_formatter
+    | [] -> Experiments.run_all ~jobs Format.std_formatter
     | ids ->
       List.iter
         (fun id ->
@@ -43,10 +52,10 @@ let run_cmd =
             Printf.eprintf "unknown experiment %S; try 'altbench list'\n" id;
             exit 1))
         ids;
-      Experiments.run_all ~ids Format.std_formatter);
+      Experiments.run_all ~ids ~jobs Format.std_formatter);
     Format.printf "@."
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids $ jobs)
 
 (* ---------------- race ---------------- *)
 

@@ -2,14 +2,26 @@
 
      altcheck list                      enumerate scenarios and policies
      altcheck run [--seeds N]           run the full scenario x policy matrix
+     altcheck run --jobs 8              fan the matrix out over 8 domains
      altcheck run -s counters           restrict to named scenarios
      altcheck run --dump-trace F.jsonl  dump a trace (first violating run,
                                         else the last run) as JSON Lines
+     altcheck bench -o BENCH.json       time the sweep sequentially vs
+                                        parallel and emit a JSON record
 
    Exit code 0 when every run satisfies every invariant; otherwise the
    exit code of the most severe violated class (see Report.class_exit_code). *)
 
 open Cmdliner
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default: one per core). The \
+           violation report is identical for every value of $(docv).")
 
 (* ---------------- list ---------------- *)
 
@@ -30,6 +42,23 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 (* ---------------- run ---------------- *)
+
+let scenarios_of_names names =
+  match names with
+  | [] -> Invariants.default_scenarios
+  | names ->
+    List.map
+      (fun n ->
+        match
+          List.find_opt
+            (fun s -> s.Invariants.sc_name = n)
+            Invariants.default_scenarios
+        with
+        | Some s -> s
+        | None ->
+          Printf.eprintf "unknown scenario %S; try 'altcheck list'\n" n;
+          exit 1)
+      names
 
 let run_cmd =
   let doc = "Run the invariant checkers over the scenario x policy matrix." in
@@ -57,58 +86,50 @@ let run_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Print only violations and the summary.")
   in
-  let run seeds names dump quiet =
-    let scenarios =
-      match names with
-      | [] -> Invariants.default_scenarios
-      | names ->
-        List.map
-          (fun n ->
-            match
-              List.find_opt
-                (fun s -> s.Invariants.sc_name = n)
-                Invariants.default_scenarios
-            with
-            | Some s -> s
-            | None ->
-              Printf.eprintf "unknown scenario %S; try 'altcheck list'\n" n;
-              exit 1)
-          names
+  let run seeds names dump quiet jobs =
+    let scenarios = scenarios_of_names names in
+    let cells = Invariants.matrix_cells ~seeds ~scenarios () in
+    let results = Invariants.run_cells ~jobs cells in
+    (* Results are in cell order, so everything below — the per-policy
+       progress lines, the violation listing, the dumped run and the
+       exit code — is independent of [jobs]. *)
+    let violations =
+      List.concat_map (fun (_, vs) -> vs) (Array.to_list results)
     in
-    let runs = ref 0 in
-    let violations = ref [] in
-    let dumped_run = ref None in
-    List.iter
-      (fun sc ->
-        List.iter
-          (fun policy ->
-            for seed = 1 to seeds do
-              let rr, vs = Invariants.run_checked sc ~policy ~seed in
-              incr runs;
-              (match (!dumped_run, vs) with
-              | Some (_, true), _ -> () (* keep the first violating run *)
-              | _, (_ :: _ as _vs) -> dumped_run := Some (rr, true)
-              | _, [] -> dumped_run := Some (rr, false));
-              violations := !violations @ vs
-            done;
-            if not quiet then
+    if not quiet then
+      List.iter
+        (fun sc ->
+          List.iter
+            (fun policy ->
+              let here =
+                List.filter
+                  (fun v ->
+                    v.Report.scenario = sc.Invariants.sc_name
+                    && v.Report.policy = Concurrent.describe policy)
+                  violations
+              in
               Printf.printf "%-10s %-44s %d seeds  %s\n%!" sc.Invariants.sc_name
                 (Concurrent.describe policy) seeds
-                (match
-                   List.filter
-                     (fun v -> v.Report.scenario = sc.Invariants.sc_name
-                               && v.Report.policy = Concurrent.describe policy)
-                     !violations
-                 with
+                (match here with
                 | [] -> "ok"
                 | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs)))
-          Invariants.policy_matrix)
-      scenarios;
-    List.iter
-      (fun v -> Format.printf "%a@." Report.pp_violation v)
-      !violations;
-    Printf.printf "%d runs, %d violations\n" !runs (List.length !violations);
-    (match (dump, !dumped_run) with
+            Invariants.policy_matrix)
+        scenarios;
+    List.iter (fun v -> Format.printf "%a@." Report.pp_violation v) violations;
+    Printf.printf "%d runs, %d violations\n" (Array.length results)
+      (List.length violations);
+    let dumped_run =
+      let violating =
+        Array.to_seq results
+        |> Seq.filter_map (fun (rr, vs) -> if vs <> [] then Some rr else None)
+        |> Seq.uncons
+      in
+      match (violating, Array.length results) with
+      | Some (rr, _), _ -> Some (rr, true)
+      | None, 0 -> None
+      | None, n -> Some (fst results.(n - 1), false)
+    in
+    (match (dump, dumped_run) with
     | Some file, Some (rr, violating) ->
       let oc =
         try open_out file
@@ -124,11 +145,136 @@ let run_cmd =
         (Concurrent.describe rr.Invariants.policy)
         rr.Invariants.seed file
     | Some _, None | None, _ -> ());
-    exit (Report.exit_code !violations)
+    exit (Report.exit_code violations)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ seeds $ names $ dump $ quiet)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ seeds $ names $ dump $ quiet $ jobs_arg)
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let doc =
+    "Time the full invariant sweep sequentially and in parallel, and write \
+     a JSON benchmark record (the repo's perf trajectory reads it)."
+  in
+  let seeds =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per (scenario, policy) cell.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_altcheck.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the record.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "After writing, re-read the file and fail unless every schema \
+             field is present (used by the $(b,@bench-smoke) alias).")
+  in
+  let required_fields =
+    [
+      "benchmark"; "runs"; "seeds"; "jobs"; "cores"; "sequential_s";
+      "parallel_s"; "speedup"; "runs_per_sec_sequential";
+      "runs_per_sec_parallel"; "violations"; "identical_reports";
+    ]
+  in
+  let run seeds out validate jobs =
+    let cells = Invariants.matrix_cells ~seeds () in
+    let n = Array.length cells in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    Printf.printf "%d runs per sweep; timing sequential sweep...\n%!" n;
+    let seq_results, seq_s = time (fun () -> Invariants.run_cells ~jobs:1 cells) in
+    Printf.printf "sequential: %.3f s; timing parallel sweep (%d jobs)...\n%!"
+      seq_s jobs;
+    let par_results, par_s = time (fun () -> Invariants.run_cells ~jobs cells) in
+    Printf.printf "parallel:   %.3f s\n%!" par_s;
+    let report results =
+      List.concat_map
+        (fun (_, vs) ->
+          List.map (fun v -> Format.asprintf "%a" Report.pp_violation v) vs)
+        (Array.to_list results)
+    in
+    let seq_report = report seq_results and par_report = report par_results in
+    let identical = seq_report = par_report in
+    if not identical then
+      Printf.eprintf
+        "WARNING: parallel sweep reported different violations than the \
+         sequential sweep\n";
+    let violations = List.length seq_report in
+    let json =
+      String.concat "\n"
+        [
+          "{";
+          Printf.sprintf "  %S: %S," "benchmark" "altcheck-sweep";
+          Printf.sprintf "  %S: %d," "runs" n;
+          Printf.sprintf "  %S: %d," "seeds" seeds;
+          Printf.sprintf "  %S: %d," "jobs" jobs;
+          Printf.sprintf "  %S: %d," "cores" (Parallel.default_jobs ());
+          Printf.sprintf "  %S: %.6f," "sequential_s" seq_s;
+          Printf.sprintf "  %S: %.6f," "parallel_s" par_s;
+          Printf.sprintf "  %S: %.3f," "speedup" (seq_s /. par_s);
+          Printf.sprintf "  %S: %.1f," "runs_per_sec_sequential"
+            (float_of_int n /. seq_s);
+          Printf.sprintf "  %S: %.1f," "runs_per_sec_parallel"
+            (float_of_int n /. par_s);
+          Printf.sprintf "  %S: %d," "violations" violations;
+          Printf.sprintf "  %S: %b" "identical_reports" identical;
+          "}";
+          "";
+        ]
+    in
+    let oc =
+      try open_out out
+      with Sys_error m ->
+        Printf.eprintf "cannot write %s: %s\n" out m;
+        exit 1
+    in
+    output_string oc json;
+    close_out oc;
+    Printf.printf
+      "%s: %d runs, %.3f s sequential, %.3f s on %d jobs (%.2fx), %d \
+       violations\n"
+      out n seq_s par_s jobs (seq_s /. par_s) violations;
+    if validate then begin
+      let ic = open_in out in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      let has_field f =
+        (* Keys are unique in the emitted object, so a substring probe of
+           the quoted key is a sufficient smoke check. *)
+        let needle = Printf.sprintf "%S:" f in
+        let nlen = String.length needle in
+        let rec scan i =
+          i + nlen <= String.length contents
+          && (String.sub contents i nlen = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      let missing = List.filter (fun f -> not (has_field f)) required_fields in
+      if missing <> [] then begin
+        Printf.eprintf "schema validation FAILED; missing: %s\n"
+          (String.concat ", " missing);
+        exit 2
+      end;
+      Printf.printf "schema ok (%d fields)\n" (List.length required_fields)
+    end;
+    if not identical then exit 3;
+    exit (if violations = 0 then 0 else 1)
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ seeds $ out $ validate $ jobs_arg)
 
 let () =
   let doc = "Check executions against the transparency paper's invariants" in
   let info = Cmd.info "altcheck" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; bench_cmd ]))

@@ -583,19 +583,60 @@ let policy_matrix =
         syncs)
     eliminations
 
-let run_matrix ?(seeds = 5) ?(scenarios = default_scenarios)
+(* ------------------------------------------------------------------ *)
+(* The sweep, fanned out over a domain pool.
+
+   Every cell of the (scenario, policy, seed) matrix is an independent
+   simulation: {!run_scenario} builds a fresh [Engine.t] (own event
+   queue, trace, frame store, process table, RNG), a fresh address
+   space, and a fresh source device, and the checkers only read that
+   run's state. Audit of everything a cell touches (2026-08, for this
+   module's domain parallelism):
+
+   - [Engine] / [Event_queue] / [Trace] / [Fate_registry]: all state
+     hangs off the [Engine.t] created per cell; effect handlers are
+     per-fiber, not global.
+   - [Frame_store] / [Address_space] / [Page_map] / [Checkpoint]:
+     reached only through the per-engine frame store.
+   - [Majority] / [Source]: spawn processes inside the cell's engine;
+     their counters live in the values returned by [create].
+   - [Rng]: generators are values; scenarios derive theirs from the
+     cell seed. [Pid.Allocator] instances are per-engine.
+   - No module in alt_base, alt_pages, alt_predicate, alt_msg,
+     alt_runtime, alt_consensus, alt_sources, altexec or alt_analysis
+     defines top-level mutable state (checked: no module-level [ref],
+     [Hashtbl.create], [Buffer.create] or [mutable] record fields
+     reachable from a toplevel binding).
+
+   Results are collected by {!Parallel.map_indexed} in index order, so a
+   parallel sweep reports byte-for-byte what the sequential sweep
+   reports, whatever the domain count. *)
+
+type cell = { cell_scenario : scenario; cell_policy : Concurrent.policy; cell_seed : int }
+
+let matrix_cells ?(seeds = 5) ?(scenarios = default_scenarios)
     ?(policies = policy_matrix) () =
-  let violations = ref [] in
-  let runs = ref 0 in
-  List.iter
-    (fun sc ->
-      List.iter
-        (fun policy ->
-          for seed = 1 to seeds do
-            incr runs;
-            let _, vs = run_checked sc ~policy ~seed in
-            violations := !violations @ vs
-          done)
-        policies)
-    scenarios;
-  (!violations, !runs)
+  Array.of_list
+    (List.concat_map
+       (fun sc ->
+         List.concat_map
+           (fun policy ->
+             List.init seeds (fun i ->
+                 { cell_scenario = sc; cell_policy = policy; cell_seed = i + 1 }))
+           policies)
+       scenarios)
+
+let run_cells ?(jobs = 1) cells =
+  Parallel.map_indexed ~jobs
+    (fun i ->
+      let c = cells.(i) in
+      run_checked c.cell_scenario ~policy:c.cell_policy ~seed:c.cell_seed)
+    (Array.length cells)
+
+let run_matrix ?seeds ?scenarios ?policies ?jobs () =
+  let cells = matrix_cells ?seeds ?scenarios ?policies () in
+  let results = run_cells ?jobs cells in
+  let violations =
+    List.concat_map (fun (_, vs) -> vs) (Array.to_list results)
+  in
+  (violations, Array.length cells)

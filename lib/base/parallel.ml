@@ -1,0 +1,153 @@
+(* A fixed-size domain pool. Workers block on a condition variable until
+   a batch of indexed jobs is published, claim indices from a shared
+   cursor under the pool mutex, and run the jobs outside it. Results land
+   in a per-batch slot array (distinct indices, so no two domains ever
+   write the same cell); exceptions are captured per job and re-raised in
+   the caller, lowest index first, after the whole batch has drained —
+   a raising job therefore never poisons the pool or loses siblings. *)
+
+type batch = {
+  run_job : int -> unit;  (* never raises: captures into its slot *)
+  total : int;
+  mutable next : int;  (* next unclaimed index *)
+  mutable outstanding : int;  (* claimed or unclaimed jobs not yet finished *)
+}
+
+type pool = {
+  m : Mutex.t;
+  work_ready : Condition.t;  (* a batch was published, or stop was set *)
+  batch_done : Condition.t;  (* outstanding reached 0 *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  jobs : int;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Claim and run jobs from [b] until its cursor is exhausted. Called with
+   [p.m] locked; returns with it locked. *)
+let drain_batch p b =
+  while b.next < b.total do
+    let i = b.next in
+    b.next <- i + 1;
+    Mutex.unlock p.m;
+    b.run_job i;
+    Mutex.lock p.m;
+    b.outstanding <- b.outstanding - 1;
+    if b.outstanding = 0 then begin
+      p.batch <- None;
+      Condition.broadcast p.batch_done
+    end
+  done
+
+let worker p () =
+  Mutex.lock p.m;
+  let rec loop () =
+    match p.batch with
+    | Some b when b.next < b.total ->
+      drain_batch p b;
+      loop ()
+    | Some _ (* exhausted; stragglers still running *) | None ->
+      if p.stop then Mutex.unlock p.m
+      else begin
+        Condition.wait p.work_ready p.m;
+        loop ()
+      end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be >= 1";
+  let p =
+    {
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      stop = false;
+      domains = [];
+      jobs;
+    }
+  in
+  p.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker p));
+  p
+
+let jobs p = p.jobs
+
+let shutdown p =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.work_ready;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+let reraise_first slots =
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    slots
+
+let map_indexed_pool p f n =
+  if n < 0 then invalid_arg "Parallel.map_indexed: negative length";
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    let run_job i =
+      let r =
+        match f i with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      slots.(i) <- Some r
+    in
+    let b = { run_job; total = n; next = 0; outstanding = n } in
+    Mutex.lock p.m;
+    if p.stop then begin
+      Mutex.unlock p.m;
+      invalid_arg "Parallel.map_indexed: pool is shut down"
+    end;
+    p.batch <- Some b;
+    Condition.broadcast p.work_ready;
+    (* The caller's domain is a worker too. *)
+    drain_batch p b;
+    while b.outstanding > 0 do
+      Condition.wait p.batch_done p.m
+    done;
+    Mutex.unlock p.m;
+    reraise_first slots;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false (* reraise_first returned *))
+      slots
+  end
+
+let sequential f n =
+  if n < 0 then invalid_arg "Parallel.map_indexed: negative length";
+  if n = 0 then [||]
+  else begin
+    (* Explicit ascending loop: the determinism contract promises
+       index-order evaluation, which Array.init does not. *)
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
+let map_indexed ~jobs f n =
+  if jobs < 1 then invalid_arg "Parallel.map_indexed: jobs must be >= 1";
+  if jobs = 1 || n <= 1 then sequential f n
+  else begin
+    let p = create ~jobs:(min jobs n) in
+    Fun.protect
+      ~finally:(fun () -> shutdown p)
+      (fun () -> map_indexed_pool p f n)
+  end
+
+let run ~jobs thunks =
+  let a = Array.of_list thunks in
+  map_indexed ~jobs (fun i -> a.(i) ()) (Array.length a)

@@ -19,12 +19,29 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* Keep 62 bits: OCaml's native int has 63, so a 62-bit value is always
+   non-negative after Int64.to_int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let max62 = (1 lsl 62) - 1
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 bits: OCaml's native int has 63, so a 62-bit value is always
-     non-negative after Int64.to_int. *)
-  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  r mod bound
+  if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
+  else begin
+    (* Rejection sampling: [r mod bound] alone over-weights the first
+       [2^62 mod bound] values, so redraw until [r] falls inside the
+       largest prefix of [0, 2^62) whose size is a multiple of [bound].
+       [reject] is [2^62 mod bound], computed without overflowing the
+       63-bit native int. *)
+    let reject = ((max62 mod bound) + 1) mod bound in
+    let limit = max62 - reject in
+    let rec draw () =
+      let r = bits62 t in
+      if r > limit then draw () else r mod bound
+    in
+    draw ()
+  end
 
 (* 53 random bits scaled into [0,1). *)
 let unit_float t =

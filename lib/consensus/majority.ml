@@ -9,6 +9,31 @@ type t = {
 let tag_req = "vote_req"
 let tag_rep = "vote_rep"
 
+(* Replies are stamped with the round id of the request they answer
+   (in the payload, not the tag: the trace-level accounting of sync
+   messages keys on the two tags above). A requester whose [acquire]
+   timed out leaves that round's replies in its mailbox; without the
+   stamp, a retried [acquire] would consume them as if they answered the
+   new round's requests and could tally the same voter twice — enough
+   manufactured "grants" to claim a majority it does not hold.
+
+   The round id is a fresh draw from {!Engine.random_bits} rather than a
+   per-requester counter: the engine records it in the deterministic
+   replay log, so a world-split clone of a requester re-derives the very
+   round id its logged replies carry. Counter state outside the log
+   would advance during replay and desynchronise. *)
+let rep_payload ~granted ~round = Payload.Pair (Payload.Bool granted, Payload.Int round)
+
+let rep_round m =
+  match m.Message.payload with
+  | Payload.Pair (_, Payload.Int round) -> round
+  | _ -> -1
+
+let rep_granted m =
+  match m.Message.payload with
+  | Payload.Pair (Payload.Bool b, _) -> b
+  | _ -> false
+
 (* A voter grants its vote to the first requester it hears from and denies
    everyone else, forever: the grant is the durable half of the 0-1
    semaphore. Voters are oblivious kernel services (their receives bypass
@@ -20,6 +45,9 @@ let voter_body ~vote_delay ~grant_slot ~msg_count ctx =
     incr msg_count;
     if vote_delay > 0. then Engine.delay ctx vote_delay;
     let requester = m.Message.sender in
+    let round =
+      match m.Message.payload with Payload.Int r -> r | _ -> 0
+    in
     let granted =
       match !grant_slot with
       | None ->
@@ -27,7 +55,7 @@ let voter_body ~vote_delay ~grant_slot ~msg_count ctx =
         true
       | Some owner -> Pid.equal owner requester
     in
-    Engine.send ctx ~tag:tag_rep requester (Payload.Bool granted);
+    Engine.send ctx ~tag:tag_rep requester (rep_payload ~granted ~round);
     incr msg_count;
     loop ()
   in
@@ -62,7 +90,19 @@ let nodes t = t.n
 let majority t = (t.n / 2) + 1
 
 let acquire ctx t ~reply_timeout =
-  List.iter (fun voter -> Engine.send ctx ~tag:tag_req voter Payload.Unit) t.pids;
+  let round = Int64.to_int (Engine.random_bits ctx) land max_int in
+  (* Drain replies a previous, timed-out round left in the mailbox. They
+     are from an older round by construction, but consuming them now also
+     keeps the mailbox from growing across many retries. *)
+  let rec drain () =
+    match Engine.receive_timeout ctx ~tag:tag_rep ~timeout:0. () with
+    | Some _ -> drain ()
+    | None -> ()
+  in
+  drain ();
+  List.iter
+    (fun voter -> Engine.send ctx ~tag:tag_req voter (Payload.Int round))
+    t.pids;
   let need = majority t in
   let rec collect ~grants ~replies =
     if grants >= need then true
@@ -72,8 +112,13 @@ let acquire ctx t ~reply_timeout =
       | None ->
         (* Remaining voters are presumed crashed; their votes are lost. *)
         false
+      | Some m when rep_round m <> round ->
+        (* A stale reply that raced the entry drain: it answers an older
+           request, so it neither grants nor counts as this round's
+           reply. *)
+        collect ~grants ~replies
       | Some m ->
-        let g = match m.Message.payload with Payload.Bool b -> b | _ -> false in
+        let g = rep_granted m in
         collect ~grants:(grants + if g then 1 else 0) ~replies:(replies + 1)
   in
   collect ~grants:0 ~replies:0

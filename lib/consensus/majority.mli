@@ -35,7 +35,15 @@ val acquire : Engine.ctx -> t -> reply_timeout:float -> bool
     decided (majority of grants, majority unreachable, or per-reply
     timeout). Returns [true] iff this caller owns the semaphore; at most
     one caller ever gets [true]. Re-acquiring after owning returns [true]
-    again (votes are idempotent per requester). *)
+    again (votes are idempotent per requester).
+
+    Each call is a fresh {e round}: requests and replies carry a round id
+    in their payload, replies left queued by an earlier timed-out round
+    are drained on entry and discarded if they race the drain, and only
+    the current round's replies are tallied. An [acquire] that returned
+    [false] on timeout is therefore safe to retry — stale grants cannot
+    be double-counted into a majority (after the abortable-mutex
+    discipline of Jayanti & Jayanti 2018). *)
 
 val owner : t -> Pid.t option
 (** The requester that a majority of voters granted, if decided and

@@ -2,7 +2,7 @@ type experiment = {
   id : string;
   title : string;
   paper_ref : string;
-  run : Format.formatter -> unit;
+  run : jobs:int -> Format.formatter -> unit;
 }
 
 let fp = Format.fprintf
@@ -31,7 +31,7 @@ let e1_pi_table =
     title = "Performance improvement of concurrent execution (PI)";
     paper_ref = "section 4.3 table (N=3, overhead=5)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         fp ppf "  %-5s %-18s %9s %9s %9s %9s@." "row" "tau(C1,C2,C3)" "PI paper"
           "PI exact" "PI sim" "wasted";
         hr ppf;
@@ -83,7 +83,7 @@ let e2_fork_latency =
     title = "Copy-on-write fork() latency, 320K address space";
     paper_ref = "section 4.4 (measured in Smith 1988)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         fp ppf "  %-16s %10s %12s %12s@." "machine" "pages" "paper" "simulated";
         hr ppf;
         List.iter
@@ -120,7 +120,7 @@ let e3_page_copy_rate =
     title = "Copy-on-write page-copy service rate";
     paper_ref = "section 4.4";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         fp ppf "  %-16s %12s %16s %16s@." "machine" "page size" "paper"
           "simulated";
         hr ppf;
@@ -157,7 +157,7 @@ let e4_cow_fraction_sweep =
     title = "COW fork response time vs fraction of pages written (320K)";
     paper_ref = "Smith 1988, cited in section 4.4";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         fp ppf "  %-10s %18s %18s@." "fraction" "3B2 response" "HP response";
         hr ppf;
         List.iter
@@ -180,7 +180,7 @@ let e5_remote_fork =
     title = "Remote fork of a 70K process";
     paper_ref = "section 4.4 (Smith and Ioannidis 1989)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let model = Cost_model.distributed_lan in
         let pages = Cost_model.pages_for model ~bytes:(70 * 1024) in
         let mechanism = Cost_model.remote_spawn_cost model ~mapped_pages:pages in
@@ -204,7 +204,7 @@ let e6_schemes =
     title = "Execution schemes: static (A), random (B), concurrent (C)";
     paper_ref = "section 4.2";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let rng = Rng.create ~seed:2026 in
         let workloads =
           [
@@ -249,51 +249,71 @@ let e7_recovery_blocks =
     title = "Recovery blocks: sequential vs concurrent under faults";
     paper_ref = "section 5.1 (cf. Kim 1984, Welch 1983)";
     run =
-      (fun ppf ->
+      (fun ~jobs ppf ->
         let trials = 60 in
         let run_config ~p_fault =
-          let seq_times = ref [] and conc_times = ref [] and agree = ref 0 in
-          for trial = 1 to trials do
-            let wl = Rng.create ~seed:(1000 + trial) in
-            let t_primary = Rng.uniform_in wl ~lo:1. ~hi:3. in
-            let t_secondary = Rng.uniform_in wl ~lo:2. ~hi:6. in
-            let make_rb fault_seed =
-              let f = Fault.create ~seed:fault_seed in
-              (* A Wrong fault: the primary runs to completion and only then
-                 fails its acceptance test, as a latent logic error would. *)
-              let primary =
-                Fault.wrap f ~p:p_fault ~mode:Fault.Wrong ~corrupt:(fun v -> -v)
-                  (Recovery_block.alternate ~name:"primary" (fun ctx ->
-                       Engine.delay ctx t_primary;
-                       1))
-              in
-              let secondary =
-                Recovery_block.alternate ~name:"secondary" (fun ctx ->
-                    Engine.delay ctx t_secondary;
-                    2)
-              in
-              Recovery_block.make ~acceptance:(fun _ v -> v > 0)
-                [ primary; secondary ]
-            in
-            let eng = Engine.create ~trace:false () in
-            let seq =
-              in_process eng (fun ctx ->
-                  Recovery_block.run_sequential ctx (make_rb trial))
-            in
-            let eng = Engine.create ~trace:false () in
-            let conc =
-              in_process eng (fun ctx ->
-                  Recovery_block.run_concurrent ctx (make_rb trial))
-            in
-            seq_times := seq.Recovery_block.elapsed :: !seq_times;
-            conc_times := conc.Recovery_block.elapsed :: !conc_times;
-            let ok v = match v with `Accepted _ -> true | `Failed -> false in
-            if ok seq.Recovery_block.verdict = ok conc.Recovery_block.verdict
-            then incr agree
-          done;
-          let seq = Stats.mean (Array.of_list !seq_times) in
-          let conc = Stats.mean (Array.of_list !conc_times) in
-          (seq, conc, !agree)
+          (* Each trial builds both of its engines from scratch, so the
+             trials fan out across the domain pool; per-trial results come
+             back in trial order and the aggregation below is independent
+             of [jobs]. *)
+          let per_trial =
+            Parallel.map_indexed ~jobs
+              (fun i ->
+                let trial = i + 1 in
+                let wl = Rng.create ~seed:(1000 + trial) in
+                let t_primary = Rng.uniform_in wl ~lo:1. ~hi:3. in
+                let t_secondary = Rng.uniform_in wl ~lo:2. ~hi:6. in
+                let make_rb fault_seed =
+                  let f = Fault.create ~seed:fault_seed in
+                  (* A Wrong fault: the primary runs to completion and only
+                     then fails its acceptance test, as a latent logic error
+                     would. *)
+                  let primary =
+                    Fault.wrap f ~p:p_fault ~mode:Fault.Wrong
+                      ~corrupt:(fun v -> -v)
+                      (Recovery_block.alternate ~name:"primary" (fun ctx ->
+                           Engine.delay ctx t_primary;
+                           1))
+                  in
+                  let secondary =
+                    Recovery_block.alternate ~name:"secondary" (fun ctx ->
+                        Engine.delay ctx t_secondary;
+                        2)
+                  in
+                  Recovery_block.make ~acceptance:(fun _ v -> v > 0)
+                    [ primary; secondary ]
+                in
+                let eng = Engine.create ~trace:false () in
+                let seq =
+                  in_process eng (fun ctx ->
+                      Recovery_block.run_sequential ctx (make_rb trial))
+                in
+                let eng = Engine.create ~trace:false () in
+                let conc =
+                  in_process eng (fun ctx ->
+                      Recovery_block.run_concurrent ctx (make_rb trial))
+                in
+                let ok v =
+                  match v with `Accepted _ -> true | `Failed -> false
+                in
+                ( seq.Recovery_block.elapsed,
+                  conc.Recovery_block.elapsed,
+                  ok seq.Recovery_block.verdict
+                  = ok conc.Recovery_block.verdict ))
+              trials
+          in
+          let seq =
+            Stats.mean (Array.map (fun (s, _, _) -> s) per_trial)
+          in
+          let conc =
+            Stats.mean (Array.map (fun (_, c, _) -> c) per_trial)
+          in
+          let agree =
+            Array.fold_left
+              (fun acc (_, _, a) -> if a then acc + 1 else acc)
+              0 per_trial
+          in
+          (seq, conc, agree)
         in
         fp ppf "  %-14s %12s %12s %9s %9s@." "p(primary" "sequential"
           "concurrent" "speedup" "verdicts";
@@ -335,7 +355,7 @@ let e8_prolog_or =
     title = "OR-parallel Prolog: racing clause branches";
     paper_ref = "section 5.2";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         fp ppf "  %-22s %10s %10s %9s %7s %9s@." "succeeding clause"
           "seq (inf)" "par (s)" "speedup" "COW" "wasted";
         hr ppf;
@@ -384,7 +404,7 @@ let e9_elimination =
       "section 3.2.1 (asynchronous elimination gives better execution time \
 at the expense of throughput)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         fp ppf "  %-14s %-8s %12s %12s %12s@." "kill latency" "policy"
           "elapsed (s)" "wasted (s)" "selection";
         hr ppf;
@@ -427,7 +447,7 @@ let e10_consensus =
     title = "Synchronisation: local latch vs majority consensus";
     paper_ref = "section 3.2.1 (performance vs reliability trade-off)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let model = Cost_model.hp_9000_350 in
         let race policy =
           let eng = Engine.create ~model ~trace:false () in
@@ -488,7 +508,7 @@ let e11_cores =
     title = "PI vs available processors (processor sharing)";
     paper_ref = "section 4.2 (real vs virtual concurrency)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let times = [| 2.; 4.; 6.; 8. |] in
         fp ppf "  four alternatives, tau = (2, 4, 6, 8), zero overhead@.";
         fp ppf "  %-12s %12s %10s %10s@." "cores" "elapsed (s)" "PI" "wins?";
@@ -522,7 +542,7 @@ let e12_real_machine =
     title = "This host: fork latency and COW costs (cf. section 4.4)";
     paper_ref = "section 4.4, measured on 2026 hardware";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let fork = Measure.fork_latency ~iters:30 () in
         fp ppf "  %-38s %14s@." "quantity" "this host";
         hr ppf;
@@ -545,7 +565,7 @@ let e13_real_race =
     title = "This host: fastest-first racing of real processes";
     paper_ref = "the design itself, on the host OS";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let sleeps = [ 0.12; 0.06; 0.03; 0.18 ] in
         let thunks =
           List.mapi
@@ -603,7 +623,7 @@ let e17_prolog_and =
       "section 5.2 (rule-level parallelism is centered on two types; OR \
 maps closely to mutually exclusive alternatives)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let db = Database.with_prelude () in
         ignore
           (Database.add_program db
@@ -650,7 +670,7 @@ let e14_guard_placement =
       "section 3.2 (guard before spawning, in the child, at sync, or \
 redundantly)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         (* Eight alternatives; six have closed guards. Selective guards
            make pre-spawn evaluation attractive; in-child keeps the parent
            path short; at-sync wastes the closed bodies' work. *)
@@ -704,7 +724,7 @@ let e15_distributed_block =
     title = "Local COW children vs remote checkpoint/restart children";
     paper_ref = "section 5.1.2 (distributed execution of recovery blocks)";
     run =
-      (fun ppf ->
+      (fun ~jobs:_ ppf ->
         let model = Cost_model.distributed_lan in
         let run ~placement ~work =
           let eng = Engine.create ~model ~trace:false () in
@@ -786,38 +806,48 @@ let e16_replication =
     title = "Replicated alternatives: reliability vs execution time";
     paper_ref = "section 6 (replication combined with alternatives)";
     run =
-      (fun ppf ->
+      (fun ~jobs ppf ->
         let trials = 200 in
         let run_config ~replicas ~p_wrong =
-          let correct = ref 0 and committed_wrong = ref 0 and failed = ref 0 in
-          let times = ref [] in
-          for trial = 1 to trials do
-            let rng = Rng.create ~seed:(trial * 7919) in
-            let version =
-              Alternative.make ~name:"v" (fun rctx ->
-                  Engine.delay rctx 0.1;
-                  if Rng.bernoulli rng ~p:p_wrong then
-                    (* Each wrong answer is distinct garbage, as a memory
-                       corruption would be. *)
-                    1000 + Rng.int rng 1000000
-                  else 42)
-            in
-            let alts =
-              if replicas = 1 then [ version ]
-              else [ Replicate.alternative ~replicas version ]
-            in
-            let eng = Engine.create ~trace:false () in
-            let r = Concurrent.run_toplevel eng alts in
-            times := r.Concurrent.elapsed :: !times;
-            match r.Concurrent.outcome with
-            | Alt_block.Selected { value = 42; _ } -> incr correct
-            | Alt_block.Selected _ -> incr committed_wrong
-            | Alt_block.Block_failed _ -> incr failed
-          done;
-          ( float_of_int !correct /. float_of_int trials,
-            float_of_int !committed_wrong /. float_of_int trials,
-            float_of_int !failed /. float_of_int trials,
-            Stats.mean (Array.of_list !times) )
+          (* Per-trial fan-out: every trial owns its engine and RNG. *)
+          let per_trial =
+            Parallel.map_indexed ~jobs
+              (fun i ->
+                let trial = i + 1 in
+                let rng = Rng.create ~seed:(trial * 7919) in
+                let version =
+                  Alternative.make ~name:"v" (fun rctx ->
+                      Engine.delay rctx 0.1;
+                      if Rng.bernoulli rng ~p:p_wrong then
+                        (* Each wrong answer is distinct garbage, as a memory
+                           corruption would be. *)
+                        1000 + Rng.int rng 1000000
+                      else 42)
+                in
+                let alts =
+                  if replicas = 1 then [ version ]
+                  else [ Replicate.alternative ~replicas version ]
+                in
+                let eng = Engine.create ~trace:false () in
+                let r = Concurrent.run_toplevel eng alts in
+                let outcome =
+                  match r.Concurrent.outcome with
+                  | Alt_block.Selected { value = 42; _ } -> `Correct
+                  | Alt_block.Selected _ -> `Wrong
+                  | Alt_block.Block_failed _ -> `Failed
+                in
+                (outcome, r.Concurrent.elapsed))
+              trials
+          in
+          let count o =
+            Array.fold_left
+              (fun acc (o', _) -> if o' = o then acc + 1 else acc)
+              0 per_trial
+          in
+          ( float_of_int (count `Correct) /. float_of_int trials,
+            float_of_int (count `Wrong) /. float_of_int trials,
+            float_of_int (count `Failed) /. float_of_int trials,
+            Stats.mean (Array.map snd per_trial) )
         in
         fp ppf "  one 0.1 s version; each execution yields garbage with prob p@.";
         fp ppf "  %-8s %-10s %10s %10s %10s %12s@." "p" "replicas" "correct"
@@ -849,7 +879,8 @@ let all =
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all
 
-let run_all ?ids ppf =
+let run_all ?ids ?jobs ppf =
+  let jobs = match jobs with Some j -> j | None -> Parallel.default_jobs () in
   let selected =
     match ids with
     | None -> all
@@ -858,5 +889,5 @@ let run_all ?ids ppf =
   List.iter
     (fun e ->
       fp ppf "@.== %s: %s@.   [%s]@.@." e.id e.title e.paper_ref;
-      e.run ppf)
+      e.run ~jobs ppf)
     selected

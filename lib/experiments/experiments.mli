@@ -10,7 +10,11 @@ type experiment = {
   id : string;  (** Stable identifier, e.g. ["table-4.3-pi"]. *)
   title : string;
   paper_ref : string;  (** Paper section/table the experiment regenerates. *)
-  run : Format.formatter -> unit;
+  run : jobs:int -> Format.formatter -> unit;
+      (** [jobs] is the domain-pool width for experiments whose trials are
+          mutually independent (E7 recovery blocks, E16 replication); the
+          printed tables are identical for every value. Experiments whose
+          structure is inherently one simulation ignore it. *)
 }
 
 val e1_pi_table : experiment
@@ -98,5 +102,7 @@ val all : experiment list
 val find : string -> experiment option
 (** Look up by [id]. *)
 
-val run_all : ?ids:string list -> Format.formatter -> unit
-(** Run all (or the selected) experiments, with section headers. *)
+val run_all : ?ids:string list -> ?jobs:int -> Format.formatter -> unit
+(** Run all (or the selected) experiments, with section headers. [jobs]
+    (default {!Parallel.default_jobs}) is passed to each experiment's
+    per-trial fan-out; it never changes the printed tables. *)

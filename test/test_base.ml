@@ -70,6 +70,54 @@ let test_rng_int_invalid () =
   Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
     (fun () -> ignore (Rng.int r 0))
 
+(* Regression for the modulo-bias fix. A bound of 3*2^60 makes the bias
+   of the old [r mod bound] enormous: the 62-bit draw covers 4*2^60
+   values, so results below 2^60 were produced by two preimages (r and
+   r + bound) and P(v < 2^60) was 1/2 instead of the uniform 1/3.
+   Rejection sampling brings it back to ~1/3; the old code fails this
+   deterministic check immediately. *)
+let test_rng_int_large_bound_unbiased () =
+  let r = Rng.create ~seed:97 in
+  let bound = 3 * (1 lsl 60) in
+  let cut = 1 lsl 60 in
+  let n = 4000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.int r bound in
+    if v < 0 || v >= bound then Alcotest.fail "Rng.int out of bounds";
+    if v < cut then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  if frac > 0.40 then
+    Alcotest.failf
+      "Rng.int is modulo-biased: %.3f of draws in the first third (expected \
+       ~0.333, the biased sampler gives ~0.50)"
+      frac
+
+(* Chi-square sanity: Rng.int 7 over 14000 draws, 7 bins of expectation
+   2000. With 6 degrees of freedom, chi2 < 22.46 covers p = 0.001; the
+   draw is deterministic in the seed, so this never flakes. *)
+let test_rng_int_chi_square () =
+  let r = Rng.create ~seed:12345 in
+  let bins = 7 in
+  let per_bin = 2000 in
+  let n = bins * per_bin in
+  let counts = Array.make bins 0 in
+  for _ = 1 to n do
+    let v = Rng.int r bins in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int per_bin in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+  in
+  if chi2 > 22.46 then
+    Alcotest.failf "chi-square %.2f exceeds the p=0.001 bound for df=6" chi2
+
 let test_rng_float_range () =
   let r = Rng.create ~seed:5 in
   for _ = 1 to 1000 do
@@ -230,6 +278,10 @@ let () =
           Alcotest.test_case "split diverges" `Quick test_rng_split_independent;
           Alcotest.test_case "int stays in bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int large-bound bias regression" `Quick
+            test_rng_int_large_bound_unbiased;
+          Alcotest.test_case "int chi-square uniformity" `Slow
+            test_rng_int_chi_square;
           Alcotest.test_case "float stays in range" `Quick test_rng_float_range;
           Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
           Alcotest.test_case "bernoulli frequency" `Slow test_rng_bernoulli_frequency;

@@ -124,6 +124,53 @@ let test_vote_delay_slows_acquire () =
   check Alcotest.bool "vote processing delays acquisition" true
     (run_with 0.05 > run_with 0. +. 0.04)
 
+(* Regression for the stale-reply bug. 2 live voters of 5 can never be a
+   majority, however often the requester retries. Before the round-id
+   fix, the retried [acquire] consumed the previous round's queued
+   grants AND the current round's — tallying voters 0 and 1 twice, i.e.
+   4 "grants" >= 3 — and won a majority it does not hold. *)
+let test_retry_after_timeout_cannot_win_lost_majority () =
+  let eng = mk () in
+  let m =
+    Majority.create eng ~nodes:5 ~crashed:[ 2; 3; 4 ] ~vote_delay:0.3 ()
+  in
+  let first = ref None and second = ref None in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         (* Votes take ~0.3 s; a 0.1 s reply timeout expires first, so
+            this round's two grants arrive after the caller gave up. *)
+         first := Some (Majority.acquire ctx m ~reply_timeout:0.1);
+         Engine.delay ctx 1.0;
+         (* The stale grants now sit in the mailbox. Retry with a window
+            long enough to also collect this round's fresh grants. *)
+         second := Some (Majority.acquire ctx m ~reply_timeout:0.5);
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.(option bool) "first acquire times out" (Some false) !first;
+  check Alcotest.(option bool)
+    "retry must not double-count voters into a majority" (Some false) !second;
+  check Alcotest.bool "no owner" true (Majority.owner m = None)
+
+(* The flip side: a retry against a live majority must still succeed once
+   the voters are given time to answer (a timed-out acquire is safely
+   retryable, not poisoned). *)
+let test_retry_after_timeout_succeeds_with_live_majority () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 ~vote_delay:0.3 () in
+  let first = ref None and second = ref None in
+  let pid =
+    Engine.spawn eng (fun ctx ->
+        first := Some (Majority.acquire ctx m ~reply_timeout:0.1);
+        Engine.delay ctx 1.0;
+        second := Some (Majority.acquire ctx m ~reply_timeout:5.);
+        Majority.shutdown m)
+  in
+  Engine.run eng;
+  check Alcotest.(option bool) "first acquire times out" (Some false) !first;
+  check Alcotest.(option bool) "retry wins" (Some true) !second;
+  check Alcotest.bool "owner is the requester" true
+    (Majority.owner m = Some pid)
+
 let test_speculative_requesters_do_not_split_voters () =
   (* The voters are oblivious: requests from speculative alternatives (with
      non-trivial predicates) must not spawn voter worlds. *)
@@ -163,6 +210,10 @@ let () =
           Alcotest.test_case "owner visible" `Quick test_owner_visible;
           Alcotest.test_case "message accounting" `Quick test_message_accounting;
           Alcotest.test_case "vote delay" `Quick test_vote_delay_slows_acquire;
+          Alcotest.test_case "stale replies cannot fake a majority" `Quick
+            test_retry_after_timeout_cannot_win_lost_majority;
+          Alcotest.test_case "timed-out acquire is retryable" `Quick
+            test_retry_after_timeout_succeeds_with_live_majority;
           Alcotest.test_case "speculative requesters, oblivious voters" `Quick
             test_speculative_requesters_do_not_split_voters;
         ] );

@@ -4,10 +4,10 @@
 
 let check = Alcotest.check
 
-let render (e : Experiments.experiment) =
+let render ?(jobs = 1) (e : Experiments.experiment) =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in
-  e.Experiments.run ppf;
+  e.Experiments.run ~jobs ppf;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 
@@ -49,8 +49,10 @@ let test_each_experiment_produces_output () =
     deterministic_ids
 
 let test_simulated_experiments_deterministic () =
-  (* The simulated tables must be byte-identical across runs. E8 includes a
-     real forked race in its tail, so compare only up to that line. *)
+  (* The simulated tables must be byte-identical across runs — and across
+     domain-pool widths (the per-trial fan-out of E7/E16 must not leak
+     scheduling into the results). E8 includes a real forked race in its
+     tail, so compare only up to that line. *)
   let strip_real s =
     match String.index_opt s 'R' with
     | _ -> (
@@ -67,7 +69,17 @@ let test_simulated_experiments_deterministic () =
     (fun (e : Experiments.experiment) ->
       let a = strip_real (render e) and b = strip_real (render e) in
       if a <> b then Alcotest.failf "experiment %s is nondeterministic" e.Experiments.id)
-    deterministic_ids
+    deterministic_ids;
+  List.iter
+    (fun id ->
+      match Experiments.find id with
+      | None -> Alcotest.failf "missing experiment %s" id
+      | Some e ->
+        let a = render ~jobs:1 e and b = render ~jobs:3 e in
+        if a <> b then
+          Alcotest.failf "experiment %s depends on the domain count"
+            e.Experiments.id)
+    [ "rb-speedup"; "replication" ]
 
 let test_pi_table_text_matches_paper () =
   match Experiments.find "table-4.3-pi" with

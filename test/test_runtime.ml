@@ -21,6 +21,49 @@ let test_eq_order () =
     (Event_queue.pop q);
   check Alcotest.bool "empty" true (Event_queue.pop q = None)
 
+(* Regression for the pop leak: the heap array must not keep popped
+   values reachable. Weak pointers observe exactly what the GC can still
+   see — before the fix, pop left a live reference to every popped value
+   in the vacated slot, so the weak slots survived a full major GC while
+   the queue (and its capacity) stayed alive. *)
+let test_eq_pop_clears_slots () =
+  let q = Event_queue.create () in
+  let weak = Weak.create 8 in
+  for i = 0 to 7 do
+    let v = ref (i * 11) in
+    Weak.set weak i (Some v);
+    Event_queue.push q ~time:(float_of_int i) v
+  done;
+  for _ = 0 to 7 do
+    ignore (Event_queue.pop q)
+  done;
+  (* Keep the queue itself (and therefore its heap array) alive. *)
+  Event_queue.push q ~time:99. (ref 0);
+  Gc.full_major ();
+  for i = 0 to 7 do
+    if Weak.check weak i then
+      Alcotest.failf "popped value %d is still referenced by the queue" i
+  done;
+  check Alcotest.int "queue still usable" 1 (Event_queue.size q)
+
+let test_eq_clear_drops_references () =
+  let q = Event_queue.create () in
+  let weak = Weak.create 4 in
+  for i = 0 to 3 do
+    let v = ref i in
+    Weak.set weak i (Some v);
+    Event_queue.push q ~time:(float_of_int i) v
+  done;
+  Event_queue.clear q;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    if Weak.check weak i then
+      Alcotest.failf "cleared value %d is still referenced by the queue" i
+  done;
+  (* The queue works after clear. *)
+  Event_queue.push q ~time:1. (ref 42);
+  check Alcotest.int "size after clear+push" 1 (Event_queue.size q)
+
 let test_eq_fifo_ties () =
   let q = Event_queue.create () in
   for i = 0 to 9 do
@@ -620,6 +663,10 @@ let () =
       ( "event_queue",
         [
           Alcotest.test_case "time order" `Quick test_eq_order;
+          Alcotest.test_case "pop clears its slot (leak regression)" `Quick
+            test_eq_pop_clears_slots;
+          Alcotest.test_case "clear drops references" `Quick
+            test_eq_clear_drops_references;
           Alcotest.test_case "fifo on ties" `Quick test_eq_fifo_ties;
           Alcotest.test_case "peek and clear" `Quick test_eq_peek_clear;
           Alcotest.test_case "NaN rejected" `Quick test_eq_nan;
