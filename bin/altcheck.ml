@@ -8,9 +8,14 @@
                                         else the last run) as JSON Lines
      altcheck bench -o BENCH.json       time the sweep sequentially vs
                                         parallel and emit a JSON record
+     altcheck fuzz [--seeds N]          re-run the invariant checkers under
+                                        fault-injection campaigns
+     altcheck fuzz --verify-determinism re-execute every cell and fail on
+                                        any byte-level divergence
 
    Exit code 0 when every run satisfies every invariant; otherwise the
-   exit code of the most severe violated class (see Report.class_exit_code). *)
+   exit code of the most severe violated class (see Report.class_exit_code).
+   altcheck fuzz exits 20 on a determinism-contract breach. *)
 
 open Cmdliner
 
@@ -150,6 +155,109 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ seeds $ names $ dump $ quiet $ jobs_arg)
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let doc =
+    "Run the invariant checkers under deterministic fault-injection \
+     campaigns (scenario x campaign x policy x seed matrix)."
+  in
+  let seeds =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Seeds per (scenario, campaign, policy) cell.")
+  in
+  let names =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario to fuzz (repeatable); see $(b,altcheck list).")
+  in
+  let campaign_names =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "campaign" ] ~docv:"NAME"
+          ~doc:"Campaign to run (repeatable); default: all of them.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify-determinism" ]
+          ~doc:
+            "Execute every cell twice and fail (exit 20) unless summaries \
+             and violation reports are byte-identical.")
+  in
+  let list_campaigns =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the campaigns and fuzz policies, then exit.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:"Print only violations, mismatches and the summary.")
+  in
+  let run seeds names campaign_names verify list_campaigns quiet jobs =
+    if list_campaigns then begin
+      Printf.printf "campaigns:\n";
+      List.iter
+        (fun (c : Fuzz.campaign) ->
+          Printf.printf "  %-18s%s\n" c.Fuzz.cg_name c.Fuzz.cg_doc)
+        Fuzz.default_campaigns;
+      Printf.printf "policies (%d):\n" (List.length Fuzz.default_policies);
+      List.iter
+        (fun p -> Printf.printf "  %s\n" (Concurrent.describe p))
+        Fuzz.default_policies;
+      exit 0
+    end;
+    let scenarios = scenarios_of_names names in
+    let campaigns =
+      match campaign_names with
+      | [] -> Fuzz.default_campaigns
+      | names ->
+        List.map
+          (fun n ->
+            match
+              List.find_opt
+                (fun (c : Fuzz.campaign) -> c.Fuzz.cg_name = n)
+                Fuzz.default_campaigns
+            with
+            | Some c -> c
+            | None ->
+              Printf.eprintf "unknown campaign %S; try 'altcheck fuzz --list'\n"
+                n;
+              exit 1)
+          names
+    in
+    let result = Fuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify () in
+    if not quiet then List.iter print_endline result.Fuzz.lines;
+    List.iter
+      (fun v -> Format.printf "%a@." Report.pp_violation v)
+      result.Fuzz.violations;
+    (match result.Fuzz.first_failing with
+    | Some c ->
+      Printf.printf "minimal failing cell: %s\n" (Fuzz.describe_cell c)
+    | None -> ());
+    List.iter
+      (fun m -> Printf.printf "DETERMINISM MISMATCH: %s\n" m)
+      result.Fuzz.mismatches;
+    Printf.printf "%d fuzzed runs%s, %d violations%s\n" result.Fuzz.cells_run
+      (if verify then " (each executed twice)" else "")
+      (List.length result.Fuzz.violations)
+      (if verify then
+         Printf.sprintf ", %d determinism mismatches"
+           (List.length result.Fuzz.mismatches)
+       else "");
+    if result.Fuzz.mismatches <> [] then exit 20;
+    exit (Report.exit_code result.Fuzz.violations)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
+      $ quiet $ jobs_arg)
+
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
@@ -277,4 +385,4 @@ let bench_cmd =
 let () =
   let doc = "Check executions against the transparency paper's invariants" in
   let info = Cmd.info "altcheck" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; bench_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; fuzz_cmd; bench_cmd ]))

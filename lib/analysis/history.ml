@@ -35,6 +35,8 @@ type t = {
   fates : (Pid.t * Predicate.fate) list;
   kills : (Pid.t * string) list;
   sent : Message.t list;
+  injections : (string * Pid.t option * Message.t option) list;
+  degradations : (Pid.t * string) list;
 }
 
 let of_trace trace =
@@ -44,6 +46,7 @@ let of_trace trace =
   let wins = ref [] and lates = ref [] and absorbs = ref [] in
   let accepts = ref [] and fates = ref [] and kills = ref [] in
   let sent = ref [] in
+  let injections = ref [] and degradations = ref [] in
   List.iter
     (fun (_, e) ->
       match e with
@@ -62,6 +65,10 @@ let of_trace trace =
       | Trace.Fate { pid; fate } -> fates := (pid, fate) :: !fates
       | Trace.Killed { pid; reason } -> kills := (pid, reason) :: !kills
       | Trace.Sent { msg } -> sent := msg :: !sent
+      | Trace.Injected { kind; pid; msg } ->
+        injections := (kind, pid, msg) :: !injections
+      | Trace.Degraded { parent; reason } ->
+        degradations := (parent, reason) :: !degradations
       | Trace.Started _ | Trace.Delivered _ | Trace.Ignored _ | Trace.Split _
       | Trace.Fate_deferred _ | Trace.Note _ -> ())
     (Trace.events trace);
@@ -76,6 +83,8 @@ let of_trace trace =
     fates = List.rev !fates;
     kills = List.rev !kills;
     sent = List.rev !sent;
+    injections = List.rev !injections;
+    degradations = List.rev !degradations;
   }
 
 let name_of t pid = Option.map snd (Hashtbl.find_opt t.spawns pid)
@@ -89,6 +98,9 @@ let accepts t = t.accepts
 let fates t = t.fates
 let kills t = t.kills
 let sent t = t.sent
+let injections t = t.injections
+let degradations t = t.degradations
+let faulted t = t.injections <> []
 
 let count_sent_tag t ~tag =
   List.length (List.filter (fun m -> m.Message.tag = tag) t.sent)

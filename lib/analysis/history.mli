@@ -57,5 +57,19 @@ val kills : t -> (Pid.t * string) list
 
 val sent : t -> Message.t list
 
+(** {2 Faults} *)
+
+val injections : t -> (string * Pid.t option * Message.t option) list
+(** [(kind, pid, msg)] of every [Injected] event: the fault campaign's
+    footprint on this execution. *)
+
+val degradations : t -> (Pid.t * string) list
+(** [(parent, reason)] of every [Degraded] event (alt-block fell back to
+    sequential execution). *)
+
+val faulted : t -> bool
+(** At least one injection took effect. Checkers use this to decide whether
+    a failure outcome may be excused by the campaign. *)
+
 val count_sent_tag : t -> tag:string -> int
 val count_accept_tag : t -> tag:string -> dest_ok:(Pid.t -> bool) -> int

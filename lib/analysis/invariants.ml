@@ -38,8 +38,12 @@ let mk_source eng scenario =
     Some s
   end
 
-let run_scenario scenario ~policy ~seed =
+let run_scenario ?faults scenario ~policy ~seed =
   let engine = mk_engine seed in
+  (* Fault plans hook the engine before anything is spawned, so a campaign
+     covers the whole execution (the transparency checker's reference runs
+     stay fault-free: they are built by [sequential_reference] below). *)
+  (match faults with Some install -> install engine | None -> ());
   let space = mk_space engine in
   Address_space.set_tracking space true;
   scenario.prepare engine space;
@@ -68,7 +72,23 @@ let check_at_most_once rr =
   let wins = History.sync_wins h in
   let lates = History.sync_lates h in
   let winner = rr.report.Concurrent.winner in
-  (match rr.report.Concurrent.outcome with
+  (if rr.report.Concurrent.degraded then begin
+     (* The block abandoned speculation: the at-most-once obligation is
+        that {e nothing} won — every child must have been prevented from
+        committing before the sequential fallback ran. *)
+     if wins <> [] then
+       add
+         "Sync_won recorded although the block degraded to sequential \
+          execution";
+     match winner with
+     | Some w ->
+       add
+         (Format.asprintf
+            "a degraded block reported %a as a speculative winner" Pid.pp w)
+     | None -> ()
+   end
+   else
+  match rr.report.Concurrent.outcome with
   | Alt_block.Selected { index; _ } -> (
     match wins with
     | [ (pid, i) ] ->
@@ -185,9 +205,19 @@ let check_transparency rr =
            (String.concat "; " cl) (String.concat "; " sl))
   in
   match rr.report.Concurrent.outcome with
-  | Alt_block.Block_failed "timeout" ->
-    (* The block gave up on the race; there is no sequential counterpart
-       to compare against. *)
+  | Alt_block.Block_failed "timeout" | Alt_block.Block_failed "consensus unreachable"
+    ->
+    (* The block gave up on the race (deadline, or the synchronisation
+       layer was unreachable); there is no sequential counterpart to
+       compare against. *)
+    []
+  | Alt_block.Block_failed _
+    when History.faulted (History.of_trace (Engine.trace rr.engine)) ->
+    (* An injected fault (dropped message, killed child, ...) may honestly
+       fail a block that would succeed sequentially: availability is
+       sacrificed, not transparency. What must {e never} happen — and is
+       still checked below — is a faulted block {e selecting} a result
+       that differs from the sequential semantics. *)
     []
   | Alt_block.Block_failed _ -> (
     let indices = List.init rr.alts_count Fun.id in
@@ -202,6 +232,29 @@ let check_transparency rr =
       compare_state sspace ssource
     | None, _, _ -> v "sequential reference execution did not complete"
   )
+  | Alt_block.Selected { index; value } when rr.report.Concurrent.degraded -> (
+    (* The sequential fallback tried the alternatives in order, so the
+       reference is a plain first-fit run over all of them — and the
+       surviving state must still be indistinguishable from it. *)
+    let indices = List.init rr.alts_count Fun.id in
+    match sequential_reference rr.scenario ~seed:rr.seed ~indices with
+    | Some (Alt_block.Selected { index = index'; value = value' }), sspace, ssource
+      ->
+      (if index' <> index || value' <> value then
+         v
+           (Printf.sprintf
+              "degraded block selected alternative %d (value %d) but a \
+               sequential execution selects %d (value %d)"
+              index value index' value')
+       else [])
+      @ compare_state sspace ssource
+    | Some (Alt_block.Block_failed _), _, _ ->
+      v
+        (Printf.sprintf
+           "degraded block selected alternative %d but a sequential \
+            execution fails"
+           index)
+    | None, _, _ -> v "sequential reference execution did not complete")
   | Alt_block.Selected { index; value } -> (
     match sequential_reference rr.scenario ~seed:rr.seed ~indices:[ index ] with
     | Some (Alt_block.Selected { index = 0; value = value' }), sspace, ssource
@@ -412,18 +465,29 @@ let check_accounting rr =
         0 rep.Concurrent.children
     in
     let store_total = Frame_store.cow_copies (Engine.frame_store rr.engine) in
+    (* A degraded parent re-runs alternatives inline: Alt_block.attempt
+       forks the parent's own space, so post-fork writes charge
+       copy-on-write faults to the parent, not to any child. In a
+       non-degraded run the parent's counter is the absorbed winner's
+       (Page_map.absorb folds the child's count into the parent), already
+       present in the children's sum — counting it again would double it.
+       A degraded run absorbed no winner, so the parent's counter is
+       exactly its own inline faults. *)
+    let parent_copies =
+      if rep.Concurrent.degraded then Address_space.cow_copies rr.space else 0
+    in
     if rep.Concurrent.child_cow_copies > quiescent then
       add
         (Printf.sprintf
            "report counts %d child copy-on-write faults but the children's \
             maps account for only %d"
            rep.Concurrent.child_cow_copies quiescent);
-    if quiescent <> store_total then
+    if quiescent + parent_copies <> store_total then
       add
         (Printf.sprintf
-           "children's copy-on-write counters (%d) do not reconcile with \
-            the frame store's total (%d)"
-           quiescent store_total)
+           "children's (%d) and parent's (%d) copy-on-write counters do \
+            not reconcile with the frame store's total (%d)"
+           quiescent parent_copies store_total)
   | Concurrent.Remote_spawn | Concurrent.Remote_on_demand -> ());
   List.rev !out
 
@@ -442,8 +506,8 @@ let check_all rr =
     Race.check_sources s ~scenario:rr.scenario.sc_name ~policy ~seed:rr.seed
   | None -> []
 
-let run_checked scenario ~policy ~seed =
-  let rr = run_scenario scenario ~policy ~seed in
+let run_checked ?faults scenario ~policy ~seed =
+  let rr = run_scenario ?faults scenario ~policy ~seed in
   (rr, check_all rr)
 
 (* ------------------------------------------------------------------ *)

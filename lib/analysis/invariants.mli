@@ -50,10 +50,15 @@ type run = {
   alts_count : int;
 }
 
-val run_scenario : scenario -> policy:Concurrent.policy -> seed:int -> run
+val run_scenario :
+  ?faults:(Engine.t -> unit) -> scenario -> policy:Concurrent.policy -> seed:int -> run
 (** Execute the scenario under the policy: fresh engine
     ({!Cost_model.att_3b2}), tracked parent space, block run to
-    quiescence via {!Concurrent.run_toplevel}. *)
+    quiescence via {!Concurrent.run_toplevel}. [faults] (e.g.
+    [Faultplan.install plan]) is applied to the fresh engine before
+    anything runs, so an injection campaign covers the whole execution;
+    the transparency checker's sequential reference runs are always
+    fault-free. *)
 
 val check_at_most_once : run -> Report.violation list
 val check_transparency : run -> Report.violation list
@@ -65,8 +70,15 @@ val check_all : run -> Report.violation list
 (** All five checkers plus the {!Race} checkers, concatenated. *)
 
 val run_checked :
-  scenario -> policy:Concurrent.policy -> seed:int -> run * Report.violation list
-(** {!run_scenario} followed by {!check_all}. *)
+  ?faults:(Engine.t -> unit) ->
+  scenario ->
+  policy:Concurrent.policy ->
+  seed:int ->
+  run * Report.violation list
+(** {!run_scenario} followed by {!check_all}. The checkers are
+    fault-aware: fault-caused block failures and policy-sanctioned
+    sequential degradations are excused, but a {e selected} result must
+    satisfy every invariant — faults included. *)
 
 val default_scenarios : scenario list
 (** [counters] (racing writers over shared pages), [guarded] (one closed

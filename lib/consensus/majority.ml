@@ -43,20 +43,24 @@ let voter_body ~vote_delay ~grant_slot ~msg_count ctx =
   let rec loop () =
     let m = Engine.receive ctx ~tag:tag_req () in
     incr msg_count;
-    if vote_delay > 0. then Engine.delay ctx vote_delay;
-    let requester = m.Message.sender in
-    let round =
-      match m.Message.payload with Payload.Int r -> r | _ -> 0
-    in
-    let granted =
-      match !grant_slot with
-      | None ->
-        grant_slot := Some requester;
-        true
-      | Some owner -> Pid.equal owner requester
-    in
-    Engine.send ctx ~tag:tag_rep requester (rep_payload ~granted ~round);
-    incr msg_count;
+    (match m.Message.payload with
+    | Payload.Int round when round >= 0 ->
+      if vote_delay > 0. then Engine.delay ctx vote_delay;
+      let requester = m.Message.sender in
+      let granted =
+        match !grant_slot with
+        | None ->
+          grant_slot := Some requester;
+          true
+        | Some owner -> Pid.equal owner requester
+      in
+      Engine.send ctx ~tag:tag_rep requester (rep_payload ~granted ~round);
+      incr msg_count
+    | _ ->
+      (* Malformed request: ignore it, mirroring [rep_round]'s [-1] on the
+         requester side. The vote is NOT granted — a garbled message must
+         not consume the durable half of the 0-1 semaphore. *)
+      ());
     loop ()
   in
   loop ()
@@ -89,7 +93,9 @@ let node_pids t = t.pids
 let nodes t = t.n
 let majority t = (t.n / 2) + 1
 
-let acquire ctx t ~reply_timeout =
+type verdict = Granted | Denied | No_quorum
+
+let acquire_verdict ctx t ~reply_timeout =
   let round = Int64.to_int (Engine.random_bits ctx) land max_int in
   (* Drain replies a previous, timed-out round left in the mailbox. They
      are from an older round by construction, but consuming them now also
@@ -104,24 +110,53 @@ let acquire ctx t ~reply_timeout =
     (fun voter -> Engine.send ctx ~tag:tag_req voter (Payload.Int round))
     t.pids;
   let need = majority t in
+  let replied = Hashtbl.create (2 * t.n) in
   let rec collect ~grants ~replies =
-    if grants >= need then true
-    else if grants + (t.n - replies) < need then false
+    if grants >= need then Granted
+    else if grants + (t.n - replies) < need then
+      (* Enough explicit denials arrived that a majority is arithmetically
+         impossible even if every silent voter grants: the semaphore is
+         (or is becoming) someone else's. Grants are permanent, so this is
+         final — retrying cannot help. *)
+      Denied
     else
       match Engine.receive_timeout ctx ~tag:tag_rep ~timeout:reply_timeout () with
       | None ->
-        (* Remaining voters are presumed crashed; their votes are lost. *)
-        false
+        (* Remaining voters are presumed crashed or partitioned; the
+           outcome is undecided, and a retry may still reach them. *)
+        No_quorum
       | Some m when rep_round m <> round ->
         (* A stale reply that raced the entry drain: it answers an older
            request, so it neither grants nor counts as this round's
            reply. *)
         collect ~grants ~replies
+      | Some m when Hashtbl.mem replied m.Message.sender ->
+        (* A duplicated reply (e.g. under fault injection): one voter,
+           one vote. Counting it again would let [n/2 + 1] copies of a
+           single grant manufacture a majority. *)
+        collect ~grants ~replies
       | Some m ->
+        Hashtbl.replace replied m.Message.sender ();
         let g = rep_granted m in
         collect ~grants:(grants + if g then 1 else 0) ~replies:(replies + 1)
   in
   collect ~grants:0 ~replies:0
+
+let acquire ctx t ~reply_timeout =
+  acquire_verdict ctx t ~reply_timeout = Granted
+
+let acquire_retry ctx t ~reply_timeout ?(retries = 0) ?(backoff = 0.01) () =
+  let rec go k =
+    match acquire_verdict ctx t ~reply_timeout with
+    | No_quorum when k < retries ->
+      (* Deterministic exponential backoff in virtual time: delay, then
+         run a fresh round (fresh round id, so leftovers of this one are
+         discarded by the round stamp). *)
+      if backoff > 0. then Engine.delay ctx (backoff *. (2. ** float_of_int k));
+      go (k + 1)
+    | v -> v
+  in
+  go 0
 
 let owner t =
   let tally = Hashtbl.create 8 in

@@ -29,21 +29,48 @@ val nodes : t -> int
 val majority : t -> int
 (** Votes needed: [nodes/2 + 1]. *)
 
-val acquire : Engine.ctx -> t -> reply_timeout:float -> bool
+(** How an acquisition round ended. [Denied] is {e final}: enough voters
+    explicitly denied that a majority is impossible, and since grants are
+    permanent a retry cannot change the answer. [No_quorum] is {e
+    undecided}: too few voters were reachable before the reply timeout —
+    the only verdict worth retrying. *)
+type verdict = Granted | Denied | No_quorum
+
+val acquire_verdict : Engine.ctx -> t -> reply_timeout:float -> verdict
 (** Attempt to acquire the semaphore on behalf of the calling process: send
     a vote request to every voter and collect replies until the outcome is
-    decided (majority of grants, majority unreachable, or per-reply
-    timeout). Returns [true] iff this caller owns the semaphore; at most
-    one caller ever gets [true]. Re-acquiring after owning returns [true]
-    again (votes are idempotent per requester).
+    decided (majority of grants, majority arithmetically denied, or
+    per-reply timeout). At most one caller ever gets [Granted];
+    re-acquiring after owning returns [Granted] again (votes are idempotent
+    per requester).
 
     Each call is a fresh {e round}: requests and replies carry a round id
     in their payload, replies left queued by an earlier timed-out round
     are drained on entry and discarded if they race the drain, and only
-    the current round's replies are tallied. An [acquire] that returned
-    [false] on timeout is therefore safe to retry — stale grants cannot
+    the current round's replies are tallied — at most one reply per voter
+    (duplicates, e.g. injected ones, are ignored). An acquisition that
+    ended [No_quorum] is therefore safe to retry — stale grants cannot
     be double-counted into a majority (after the abortable-mutex
     discipline of Jayanti & Jayanti 2018). *)
+
+val acquire : Engine.ctx -> t -> reply_timeout:float -> bool
+(** [acquire_verdict ... = Granted]. *)
+
+val acquire_retry :
+  Engine.ctx ->
+  t ->
+  reply_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  verdict
+(** {!acquire_verdict} with up to [retries] (default 0) additional rounds
+    on [No_quorum], separated by exponential backoff: before retry [k]
+    (0-based) the caller delays [backoff * 2{^k}] seconds of virtual time
+    (default [backoff] 0.01; pass [0.] for immediate retries). [Granted]
+    and [Denied] return immediately — only an undecided round retries.
+    Deterministic: backoff burns virtual time through {!Engine.delay}, so
+    identical seeds replay identical schedules. *)
 
 val owner : t -> Pid.t option
 (** The requester that a majority of voters granted, if decided and

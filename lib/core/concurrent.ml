@@ -17,12 +17,17 @@ type guard_placement =
 
 type placement = Local_spawn | Remote_spawn | Remote_on_demand
 
+type degradation = Fail_block | Sequential_fallback
+
 type policy = {
   elimination : elimination;
   sync : sync_mode;
   timeout : float;
   guards : guard_placement;
   placement : placement;
+  degradation : degradation;
+  sync_retries : int;
+  sync_backoff : float;
 }
 
 let default_policy =
@@ -32,6 +37,9 @@ let default_policy =
     timeout = 1e12;
     guards = Guard_in_child;
     placement = Local_spawn;
+    degradation = Fail_block;
+    sync_retries = 0;
+    sync_backoff = 0.01;
   }
 
 let describe policy =
@@ -61,7 +69,18 @@ let describe policy =
     | Remote_spawn -> "remote"
     | Remote_on_demand -> "remote-on-demand"
   in
-  String.concat "/" [ elim; sync; guards; placement ]
+  (* Robustness knobs are appended only when non-default, so existing
+     matrix labels (and altcheck's committed output) are unchanged. *)
+  let extras =
+    (if policy.sync_retries > 0 then
+       [ Printf.sprintf "retry%d" policy.sync_retries ]
+     else [])
+    @
+    match policy.degradation with
+    | Fail_block -> []
+    | Sequential_fallback -> [ "seq-fallback" ]
+  in
+  String.concat "/" ([ elim; sync; guards; placement ] @ extras)
 
 type 'a report = {
   outcome : 'a Alt_block.outcome;
@@ -74,6 +93,8 @@ type 'a report = {
   wasted_cpu : float;
   child_cow_copies : int;
   sync_messages : int;
+  attempted : int;
+  degraded : bool;
 }
 
 type 'a latch_value =
@@ -138,6 +159,8 @@ let run ctx ?(policy = default_policy) alts =
       wasted_cpu = 0.;
       child_cow_copies = 0;
       sync_messages = 0;
+      attempted = 0;
+      degraded = false;
     }
   else begin
     let pids = Array.of_list (Engine.fresh_pids eng n) in
@@ -209,6 +232,14 @@ let run ctx ?(policy = default_policy) alts =
     if !setup_cost > 0. then Engine.delay ctx !setup_cost;
     let latch : 'a latch_value Engine.Ivar.t = Engine.Ivar.create () in
     let remaining = ref spawned_count in
+    (* Alternatives that ran their body to a verdict (value, declared
+       failure, or crash) — as opposed to being eliminated mid-flight.
+       This is what a recovery block may honestly call "attempts". *)
+    let attempted = ref 0 in
+    (* Children whose consensus rounds ended undecided (no quorum
+       reachable): distinguishes "every alternative genuinely failed" from
+       "the synchronisation layer was unreachable". *)
+    let no_quorum_seen = ref 0 in
     let tr e = Trace.record (Engine.trace eng) ~time:(Engine.now eng) e in
     let remote =
       match policy.placement with
@@ -222,8 +253,20 @@ let run ctx ?(policy = default_policy) alts =
             if guard_in_child && not (alt.Alternative.guard child_ctx) then
               Engine.abort child_ctx "guard failed";
             let value =
-              try alt.Alternative.body child_ctx
-              with Alternative.Failed r -> Engine.abort child_ctx ("failed: " ^ r)
+              try
+                let v = alt.Alternative.body child_ctx in
+                incr attempted;
+                v
+              with
+              | Alternative.Failed r ->
+                incr attempted;
+                Engine.abort child_ctx ("failed: " ^ r)
+              | (Engine.Process_killed _ | Engine.Abort_process _) as e ->
+                (* Eliminated (or self-aborted) mid-body: not an attempt. *)
+                raise e
+              | e ->
+                incr attempted;
+                raise e
             in
             Engine.charge_memory child_ctx;
             if guard_at_sync && not (alt.Alternative.guard child_ctx) then
@@ -232,28 +275,41 @@ let run ctx ?(policy = default_policy) alts =
                network. *)
             if remote then Engine.delay child_ctx model.Cost_model.msg_latency;
             let me = Engine.self child_ctx in
-            let won =
+            let verdict =
               match consensus with
               | None ->
-                Engine.Ivar.try_fill latch (Win { index = i; pid = me; value })
+                if Engine.Ivar.try_fill latch (Win { index = i; pid = me; value })
+                then `Won
+                else `Late
               | Some maj ->
                 let reply_timeout =
                   match policy.sync with
                   | Consensus { reply_timeout; _ } -> reply_timeout
                   | Local -> assert false
                 in
-                if Majority.acquire child_ctx maj ~reply_timeout then begin
+                (match
+                   Majority.acquire_retry child_ctx maj ~reply_timeout
+                     ~retries:policy.sync_retries ~backoff:policy.sync_backoff
+                     ()
+                 with
+                | Majority.Granted ->
                   ignore
                     (Engine.Ivar.try_fill latch (Win { index = i; pid = me; value }));
-                  true
-                end
-                else false
+                  `Won
+                | Majority.Denied -> `Late
+                | Majority.No_quorum -> `No_quorum)
             in
-            if won then tr (Trace.Sync_won { pid = me; index = i })
-            else begin
+            match verdict with
+            | `Won -> tr (Trace.Sync_won { pid = me; index = i })
+            | `Late ->
               tr (Trace.Sync_late { pid = me; index = i });
               Engine.abort child_ctx "too late"
-            end
+            | `No_quorum ->
+              (* Not a loss: the decision was never made. No [Sync_late]
+                 is recorded — the at-most-once audit counts those as
+                 decided denials. *)
+              incr no_quorum_seen;
+              Engine.abort child_ctx "no quorum reachable"
           in
           let pid =
             Engine.spawn eng ~pid:pids.(i) ~parent:parent_pid
@@ -304,8 +360,47 @@ let run ctx ?(policy = default_policy) alts =
           victims
       | No_elim -> ()
     in
+    let degraded = ref false in
+    (* Graceful degradation: abandon speculation and run the block the way
+       a sequential program would have. Children are killed {e before} any
+       cost is charged (a charge suspends the parent, and a straggler could
+       win the latch during the suspension); then the alternatives run one
+       by one in the parent, against the parent's own sink state, exactly
+       as {!Alt_block} would. *)
+    let degrade reason =
+      degraded := true;
+      tr (Trace.Degraded { parent = parent_pid; reason });
+      let victims =
+        Array.to_list pids |> List.filteri (fun i _ -> open_.(i))
+      in
+      List.iter
+        (fun pid -> Engine.kill eng pid ~reason:"degraded to sequential")
+        victims;
+      let issue = float_of_int (List.length victims) *. per_kill in
+      if issue > 0. then begin
+        Engine.delay ctx issue;
+        selection_cost := !selection_cost +. issue
+      end;
+      let rec go index = function
+        | [] -> Alt_block.Block_failed "no alternative succeeded"
+        | alt :: rest -> (
+          match Alt_block.attempt ctx alt with
+          | Ok value ->
+            incr attempted;
+            Alt_block.Selected { index; value }
+          | Error _ ->
+            incr attempted;
+            go (index + 1) rest)
+      in
+      (go 0 alts, None)
+    in
     let outcome, winner =
       match decision with
+      | Some All_failed_l
+        when !no_quorum_seen > 0 && policy.degradation = Sequential_fallback ->
+        degrade "consensus unreachable"
+      | None when policy.degradation = Sequential_fallback ->
+        degrade "alt_wait timeout"
       | Some (Win { index; pid; value }) ->
         (* Rendezvous first, before the parent can suspend: the winner is
            still alive (it fills the latch before exiting), so its page map
@@ -339,6 +434,11 @@ let run ctx ?(policy = default_policy) alts =
         | _ -> ());
         eliminate ~except:(Some pid) ~reason:"sibling elimination";
         (Alt_block.Selected { index; value }, Some pid)
+      | Some All_failed_l when !no_quorum_seen > 0 ->
+        (* Children died reporting "no quorum reachable", not genuine
+           failure: report the synchronisation outage, not a lie about the
+           alternatives. *)
+        (Alt_block.Block_failed "consensus unreachable", None)
       | Some All_failed_l -> (Alt_block.Block_failed "no alternative succeeded", None)
       | None ->
         eliminate ~except:None ~reason:"alt_wait timeout";
@@ -382,6 +482,8 @@ let run ctx ?(policy = default_policy) alts =
       child_cow_copies;
       sync_messages =
         (match consensus with Some m -> Majority.messages_sent m | None -> 0);
+      attempted = !attempted;
+      degraded = !degraded;
     }
   end
 

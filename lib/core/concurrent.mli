@@ -71,6 +71,18 @@ type placement =
           copy, and only the pages the winner actually dirtied are shipped
           back at rendezvous. *)
 
+(** What to do when the block cannot reach a decision — the [alt_wait]
+    timeout fires, or (under [Consensus]) no quorum of voters was reachable
+    from any child. *)
+type degradation =
+  | Fail_block  (** Report [Block_failed]; the caller deals with it. *)
+  | Sequential_fallback
+      (** Abandon speculation: kill every child, then run the alternatives
+          one at a time in the parent, exactly as the sequential semantics
+          prescribe. Slower, but the block still computes its answer when
+          the speculation machinery is the thing that failed. Reported
+          honestly via {!report}[.degraded] and a [Trace.Degraded] event. *)
+
 type policy = {
   elimination : elimination;
   sync : sync_mode;
@@ -80,11 +92,20 @@ type policy = {
           succeeded". *)
   guards : guard_placement;
   placement : placement;
+  degradation : degradation;
+  sync_retries : int;
+      (** Extra consensus rounds a child may run when a round ends with no
+          quorum reachable (passed to {!Majority.acquire_retry}). Denials
+          are final and never retried. *)
+  sync_backoff : float;
+      (** Base of the exponential backoff between those rounds (virtual
+          seconds). *)
 }
 
 val default_policy : policy
 (** Synchronous elimination, local latch, guard in the child, local
-    copy-on-write spawning, effectively-infinite timeout. *)
+    copy-on-write spawning, effectively-infinite timeout, [Fail_block]
+    degradation, no consensus retries (backoff base 0.01). *)
 
 val describe : policy -> string
 (** A compact human-readable rendering,
@@ -114,6 +135,17 @@ type 'a report = {
       (** Copy-on-write faults serviced for the children: state that had to
           be privatised because alternatives updated shared pages. *)
   sync_messages : int;  (** Consensus protocol messages (0 for [Local]). *)
+  attempted : int;
+      (** Alternatives that ran to a verdict — produced a value, declared
+          failure, or crashed — whether concurrently or during a sequential
+          fallback. Eliminated children do {e not} count: they never
+          finished attempting. This is the honest "attempts made" figure a
+          recovery block should report. *)
+  degraded : bool;
+      (** The block fell back to sequential execution
+          ([Sequential_fallback] fired). When [true], [winner] is [None]
+          even for a [Selected] outcome — the value was computed in the
+          parent, not by a speculative child. *)
 }
 
 val run : Engine.ctx -> ?policy:policy -> 'a Alternative.t list -> 'a report

@@ -1,0 +1,116 @@
+type msg_action = Drop | Duplicate | Delay of float | Reorder of float
+
+type msg_rule = {
+  action : msg_action;
+  p : float;
+  tag : string option;
+  sender : string option;
+  dest : string option;
+  window : float * float;
+}
+
+type proc_fault = Kill | Crash of float (* revive delay; infinity = never *)
+
+type proc_rule = { fault : proc_fault; target : string; nth : int; after : float }
+
+type rule = Message of msg_rule | Process of proc_rule
+
+let message ?(p = 1.0) ?tag ?sender ?dest ?(window = (0., infinity)) action =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Faultplan.message: p not in [0,1]";
+  Message { action; p; tag; sender; dest; window }
+
+let storm ?window extra = message ?window (Delay extra)
+
+let kill_process ?(nth = 0) ?(after = 0.) target =
+  Process { fault = Kill; target; nth; after }
+
+let crash_process ?(nth = 0) ?(after = 0.) ?(revive_after = infinity) target =
+  Process { fault = Crash revive_after; target; nth; after }
+
+type t = { seed : int; rules : rule list }
+
+let make ?(seed = 0) rules = { seed; rules }
+let none = { seed = 0; rules = [] }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  if n = 0 then true
+  else
+    let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+
+let install plan eng =
+  let rng = Rng.create ~seed:plan.seed in
+  let msg_rules =
+    List.filter_map (function Message r -> Some r | Process _ -> None) plan.rules
+  in
+  let proc_rules =
+    List.filter_map (function Process r -> Some r | Message _ -> None) plan.rules
+  in
+  (* Per-rule match counters for [nth] selection. *)
+  let proc_seen = Array.make (List.length proc_rules) 0 in
+  (* Crashed ("silenced") pids: their traffic is black-holed. *)
+  let silenced : (Pid.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let tr e = Trace.record (Engine.trace eng) ~time:(Engine.now eng) e in
+  let name_matches pat pid =
+    match Engine.name_of eng pid with
+    | None -> false
+    | Some name -> contains ~sub:pat name
+  in
+  let rule_applies (r : msg_rule) (m : Message.t) =
+    let lo, hi = r.window in
+    let now = Engine.now eng in
+    now >= lo && now <= hi
+    && (match r.tag with None -> true | Some t -> String.equal t m.Message.tag)
+    && (match r.sender with None -> true | Some s -> name_matches s m.Message.sender)
+    && (match r.dest with None -> true | Some d -> name_matches d m.Message.dest)
+    (* The Bernoulli draw comes last so the stream advances exactly once
+       per pattern-matched message — stable under rule reordering. *)
+    && (r.p >= 1.0 || Rng.bernoulli rng ~p:r.p)
+  in
+  let on_message (m : Message.t) : Engine.fault_action =
+    if Hashtbl.mem silenced m.Message.sender || Hashtbl.mem silenced m.Message.dest
+    then Engine.F_drop
+    else
+      match List.find_opt (fun r -> rule_applies r m) msg_rules with
+      | None -> Engine.F_deliver
+      | Some r -> (
+        match r.action with
+        | Drop -> Engine.F_drop
+        | Duplicate -> Engine.F_duplicate
+        | Delay d -> Engine.F_delay d
+        | Reorder d -> Engine.F_reorder d)
+  in
+  let apply_proc_fault (r : proc_rule) pid =
+    match r.fault with
+    | Kill ->
+      if Engine.alive eng pid then begin
+        tr (Trace.Injected { kind = "kill"; pid = Some pid; msg = None });
+        Engine.kill eng pid ~reason:"fault injection"
+      end
+    | Crash revive ->
+      if Engine.alive eng pid then begin
+        tr (Trace.Injected { kind = "crash"; pid = Some pid; msg = None });
+        Hashtbl.replace silenced pid ();
+        if revive < infinity then
+          Engine.after eng ~delay:revive (fun () ->
+              if Hashtbl.mem silenced pid then begin
+                Hashtbl.remove silenced pid;
+                tr (Trace.Injected { kind = "revive"; pid = Some pid; msg = None })
+              end)
+      end
+  in
+  let on_spawn pid name =
+    List.iteri
+      (fun i r ->
+        if contains ~sub:r.target name then begin
+          let seen = proc_seen.(i) in
+          proc_seen.(i) <- seen + 1;
+          if seen = r.nth then
+            if r.after <= 0. then apply_proc_fault r pid
+            else Engine.after eng ~delay:r.after (fun () -> apply_proc_fault r pid)
+        end)
+      proc_rules
+  in
+  Engine.set_message_fault eng (Some on_message);
+  Engine.set_spawn_hook eng (Some on_spawn)

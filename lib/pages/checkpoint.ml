@@ -61,8 +61,17 @@ let of_bytes b =
   if len <> expected then fail ();
   let pages = ref [] in
   let off = ref header_bytes in
+  let seen = Hashtbl.create (max 16 count) in
   for _ = 1 to count do
     let vpage = int_at !off in
+    (* A negative page number or a repeated entry cannot come from
+       [to_bytes]; restoring such an image would double-write pages
+       silently. *)
+    if vpage < 0 || Hashtbl.mem seen vpage then fail ();
+    Hashtbl.replace seen vpage ();
+    (* A negative page number or a repeated entry cannot come from
+       [to_bytes]; restoring such an image would double-write pages
+       silently. *)
     let contents = Bytes.sub b (!off + per_page_header) psize in
     pages := (vpage, contents) :: !pages;
     off := !off + per_page_header + psize

@@ -31,7 +31,9 @@ val to_bytes : image -> bytes
     implementation). *)
 
 val of_bytes : bytes -> image
-(** Inverse of {!to_bytes}. Raises [Invalid_argument] on malformed data. *)
+(** Inverse of {!to_bytes}. Raises [Invalid_argument] on malformed data:
+    bad framing, a negative page number, or a duplicated page entry
+    (restoring a duplicate would double-write the page silently). *)
 
 val transfer_cost : Cost_model.t -> image -> float
 (** {!Cost_model.remote_spawn_cost} of shipping this image: the checkpoint

@@ -15,7 +15,16 @@ let apply_mode mode corrupt name ctx run =
     Engine.delay ctx extra;
     run ctx
 
+(* Eager: a [Wrong] injector without a corruptor is a configuration error,
+   and raising it later, inside the child, would surface as "the alternative
+   failed" — masking the misconfiguration as fault-tolerance data. *)
+let validate mode corrupt =
+  match (mode, corrupt) with
+  | Wrong, None -> invalid_arg "Fault: Wrong mode requires ~corrupt"
+  | (Crash | Wrong | Slow _), _ -> ()
+
 let wrap t ~p ~mode ?corrupt (alt : 'a Recovery_block.alternate) =
+  validate mode corrupt;
   {
     Recovery_block.name = alt.Recovery_block.name ^ "?";
     version =
@@ -27,6 +36,7 @@ let wrap t ~p ~mode ?corrupt (alt : 'a Recovery_block.alternate) =
   }
 
 let always ~mode ?corrupt (alt : 'a Recovery_block.alternate) =
+  validate mode corrupt;
   {
     Recovery_block.name = alt.Recovery_block.name ^ "!";
     version =

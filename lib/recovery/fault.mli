@@ -22,10 +22,11 @@ val wrap :
   'a Recovery_block.alternate ->
   'a Recovery_block.alternate
 (** [wrap t ~p ~mode alt] misbehaves with probability [p] on each
-    execution. [Wrong] requires [corrupt] (raises [Invalid_argument]
-    otherwise). The draw is made before the version runs, so the failure
-    pattern is identical between sequential and concurrent executions of
-    the same seed when drawn per-alternate. *)
+    execution. [Wrong] requires [corrupt]: [Invalid_argument] is raised
+    {e at wrap time}, so a misconfigured injector cannot masquerade as a
+    failing alternative at run time. The draw is made before the version
+    runs, so the failure pattern is identical between sequential and
+    concurrent executions of the same seed when drawn per-alternate. *)
 
 val always : mode:mode -> ?corrupt:('a -> 'a) ->
   'a Recovery_block.alternate -> 'a Recovery_block.alternate

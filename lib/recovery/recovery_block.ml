@@ -64,7 +64,10 @@ let run_concurrent ctx ?policy rb =
   {
     verdict;
     elapsed = report.Concurrent.elapsed;
-    attempts = List.length rb.alternates;
+    (* Alternates that actually ran to a verdict. Eliminated siblings never
+       finished their acceptance test, so counting every spawn here (as
+       this once did) overstated the block's coverage. *)
+    attempts = report.Concurrent.attempted;
     rollbacks = 0;
     wasted_cpu = report.Concurrent.wasted_cpu;
   }
@@ -72,6 +75,7 @@ let run_concurrent ctx ?policy rb =
 let distributed_policy ?(nodes = 3) ?(crashed = []) ?(vote_delay = 0.)
     ?(reply_timeout = 1.0) ?(timeout = 1e12) () =
   {
+    Concurrent.default_policy with
     Concurrent.elimination = Concurrent.Async_elim;
     sync = Concurrent.Consensus { nodes; crashed; vote_delay; reply_timeout };
     timeout;

@@ -37,8 +37,10 @@ type 'a result = {
           failure. *)
   elapsed : float;  (** Virtual seconds spent in the block. *)
   attempts : int;
-      (** Sequential: alternates tried (including the accepted one).
-          Concurrent: alternates spawned. *)
+      (** Alternates that ran their version (and acceptance test) to a
+          verdict — sequentially: alternates tried, including the accepted
+          one; concurrently: {!Concurrent}'s [attempted] count, which
+          excludes alternates eliminated before finishing. *)
   rollbacks : int;  (** Sequential state restorations performed. *)
   wasted_cpu : float;  (** Concurrent: CPU burnt by eliminated siblings. *)
 }

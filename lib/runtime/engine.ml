@@ -63,6 +63,13 @@ and ctx = { engine : t; pcb : pcb }
 
 and event = { mutable dead_ev : bool; run_ev : unit -> unit }
 
+and fault_action =
+  | F_deliver
+  | F_drop
+  | F_delay of float
+  | F_duplicate
+  | F_reorder of float
+
 and t = {
   mutable vnow : float;
   events : event Event_queue.t;
@@ -87,6 +94,8 @@ and t = {
   mutable stopped : bool;
   mutable sweeping : bool;
   mutable sweep_again : bool;
+  mutable msg_fault : (Message.t -> fault_action) option;
+  mutable spawn_hook : (Pid.t -> string -> unit) option;
 }
 
 type _ Effect.t +=
@@ -124,7 +133,12 @@ let create ?(cores = Infinite) ?(model = Cost_model.uniform ()) ?(seed = 42)
     stopped = false;
     sweeping = false;
     sweep_again = false;
+    msg_fault = None;
+    spawn_hook = None;
   }
+
+let set_message_fault t f = t.msg_fault <- f
+let set_spawn_hook t f = t.spawn_hook <- f
 
 let now t = t.vnow
 let model t = t.model_
@@ -503,6 +517,7 @@ and accept_with_split t pcb m s =
     register_world t clone;
     t.live <- t.live + 1;
     tr t (Trace.Split { original = pcb.pid; clone = clone_pid; on = m });
+    (match t.spawn_hook with Some h -> h clone_pid clone.name | None -> ());
     (* Charge the copy as a fork-base-cost start delay for the clone. *)
     schedule t ~at:(t.vnow +. t.model_.Cost_model.fork_base) (fun () ->
         start_pcb t clone);
@@ -830,8 +845,39 @@ and do_send t pcb ~dest ~tag payload =
     | Some last when last > earliest -> last
     | _ -> earliest
   in
-  Hashtbl.replace t.channels key at;
-  schedule t ~at (fun () -> deliver t msg)
+  let inject kind = tr t (Trace.Injected { kind; pid = None; msg = Some msg }) in
+  match t.msg_fault with
+  | None ->
+    Hashtbl.replace t.channels key at;
+    schedule t ~at (fun () -> deliver t msg)
+  | Some f -> (
+    match f msg with
+    | F_deliver ->
+      Hashtbl.replace t.channels key at;
+      schedule t ~at (fun () -> deliver t msg)
+    | F_drop ->
+      (* The send happened; the network lost it. The channel clock still
+         advances so that later sends keep their fault-free schedule. *)
+      Hashtbl.replace t.channels key at;
+      inject "drop"
+    | F_duplicate ->
+      Hashtbl.replace t.channels key at;
+      inject "duplicate";
+      schedule t ~at (fun () -> deliver t msg);
+      schedule t ~at (fun () -> deliver t msg)
+    | F_delay extra ->
+      (* Extra latency that also holds back later sends on the channel:
+         per-sender FIFO is preserved, everything just arrives late. *)
+      let at = at +. Float.max 0. extra in
+      Hashtbl.replace t.channels key at;
+      inject "delay";
+      schedule t ~at (fun () -> deliver t msg)
+    | F_reorder extra ->
+      (* Extra latency that does NOT advance the channel clock: a later
+         send may overtake this message — a genuine FIFO violation. *)
+      Hashtbl.replace t.channels key at;
+      inject "reorder";
+      schedule t ~at:(at +. Float.max 0. extra) (fun () -> deliver t msg))
 
 and deliver t msg =
   let copies =
@@ -868,6 +914,7 @@ let spawn t ?pid ?parent ?(predicate = Predicate.empty) ?space
   register_world t pcb;
   t.live <- t.live + 1;
   tr t (Trace.Spawned { pid; parent; name });
+  (match t.spawn_hook with Some h -> h pid name | None -> ());
   schedule t ~at:(t.vnow +. start_delay) (fun () -> start_pcb t pcb);
   pid
 
@@ -949,6 +996,7 @@ let total_cpu_time t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.cpu_used 0.
 
 let logical_of t pid = Option.map (fun p -> p.logical) (find_pcb t pid)
 let space_of t pid = Option.bind (find_pcb t pid) (fun p -> p.space)
+let name_of t pid = Option.map (fun p -> p.name) (find_pcb t pid)
 
 let certain_of t pid =
   match Fate_registry.fate t.reg pid with

@@ -33,6 +33,15 @@
 type t
 (** An engine (one simulation). *)
 
+exception Process_killed of string
+(** Raised inside a body when the process is eliminated ({!kill}); bodies
+    that wrap work in [try ... with] must re-raise it so elimination stays
+    prompt. Exposed so instrumentation (e.g. the alt-block's attempt
+    accounting) can tell an eliminated child from a crashed one. *)
+
+exception Abort_process of string
+(** Raised by {!abort}; same caveat as {!Process_killed}. *)
+
 type ctx
 (** A process's view of itself; passed to its body. *)
 
@@ -237,3 +246,38 @@ val certain_of : t -> Pid.t -> bool
     recorded as completed is certain; a failed or dead-world pid is not.
     Used by the source-device layer to stamp emissions, and by the analysis
     layer to audit them. *)
+
+val name_of : t -> Pid.t -> string option
+(** The name the pid was spawned with. Works after exit (post-mortem
+    process table); [None] for unknown pids. *)
+
+(** {2 Fault injection}
+
+    Hooks for the fault-plan layer ([lib/faultplan]). They sit below the
+    predicate-matching semantics: a dropped or delayed message never reaches
+    acceptance, exactly as if the (simulated) network had misbehaved. All
+    decisions are taken by the installed plan, so an engine with no plan
+    installed behaves bit-for-bit as before. *)
+
+(** What to do with a message about to be scheduled for delivery.
+    [F_delay] adds latency but preserves per-channel FIFO order (later sends
+    on the same channel queue behind it); [F_reorder] adds latency {e
+    without} holding the channel clock back, so a later message can overtake
+    — the only way to violate FIFO, kept separate so campaigns can opt in
+    deliberately. *)
+type fault_action =
+  | F_deliver
+  | F_drop
+  | F_delay of float
+  | F_duplicate
+  | F_reorder of float
+
+val set_message_fault : t -> (Message.t -> fault_action) option -> unit
+(** Install (or clear) the message-fault hook, consulted once per {!send}
+    after normal latency is computed. Each non-[F_deliver] decision is
+    recorded as a {!Trace.Injected} event. *)
+
+val set_spawn_hook : t -> (Pid.t -> string -> unit) option -> unit
+(** Install (or clear) a callback invoked at every process creation —
+    {!spawn} and world-split clones alike — with the new pid and its name.
+    The fault plan uses it to target processes by name pattern. *)

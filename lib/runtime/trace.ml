@@ -13,6 +13,8 @@ type event =
   | Absorbed of { parent : Pid.t; child : Pid.t }
   | Sync_won of { pid : Pid.t; index : int }
   | Sync_late of { pid : Pid.t; index : int }
+  | Injected of { kind : string; pid : Pid.t option; msg : Message.t option }
+  | Degraded of { parent : Pid.t; reason : string }
   | Note of string
 
 type t = { mutable events : (float * event) list; mutable enabled : bool }
@@ -63,6 +65,16 @@ let pp_event ppf = function
     Format.fprintf ppf "sync won by %a (alternative %d)" Pid.pp pid index
   | Sync_late { pid; index } ->
     Format.fprintf ppf "sync too late for %a (alternative %d)" Pid.pp pid index
+  | Injected { kind; pid; msg } ->
+    Format.fprintf ppf "inject %s%s%s" kind
+      (match pid with
+      | None -> ""
+      | Some p -> Format.asprintf " %a" Pid.pp p)
+      (match msg with
+      | None -> ""
+      | Some m -> Format.asprintf " %a" Message.pp m)
+  | Degraded { parent; reason } ->
+    Format.fprintf ppf "degrade %a to sequential (%s)" Pid.pp parent reason
   | Note s -> Format.fprintf ppf "note: %s" s
 
 let dump ppf t =
@@ -156,6 +168,15 @@ let json_fields_of_event = function
   | Sync_late { pid; index } ->
     ( "sync_late",
       Printf.sprintf "\"pid\":%s,\"index\":%d" (json_pid pid) index )
+  | Injected { kind; pid; msg } ->
+    ( "injected",
+      Printf.sprintf "\"kind\":%s,\"pid\":%s,\"msg\":%s" (json_str kind)
+        (match pid with None -> "null" | Some p -> json_pid p)
+        (match msg with None -> "null" | Some m -> json_msg m) )
+  | Degraded { parent; reason } ->
+    ( "degraded",
+      Printf.sprintf "\"parent\":%s,\"reason\":%s" (json_pid parent)
+        (json_str reason) )
   | Note s -> ("note", Printf.sprintf "\"text\":%s" (json_str s))
 
 let event_to_json ~time e =

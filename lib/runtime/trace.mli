@@ -22,6 +22,15 @@ type event =
   | Absorbed of { parent : Pid.t; child : Pid.t }
   | Sync_won of { pid : Pid.t; index : int }
   | Sync_late of { pid : Pid.t; index : int }
+  | Injected of { kind : string; pid : Pid.t option; msg : Message.t option }
+      (** A fault injection took effect: [kind] is one of ["drop"],
+          ["duplicate"], ["delay"], ["reorder"] (message faults, recorded by
+          the engine) or ["kill"], ["crash"], ["revive"] (process faults,
+          recorded by the fault plan). The analysis layer uses these to tell
+          a faulted execution from a clean one. *)
+  | Degraded of { parent : Pid.t; reason : string }
+      (** An alternative block abandoned speculation and fell back to
+          sequential execution ([Concurrent.Sequential_fallback]). *)
   | Note of string
 
 type t

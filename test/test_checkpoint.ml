@@ -76,6 +76,37 @@ let test_of_bytes_rejects_garbage () =
     (Invalid_argument "Checkpoint.of_bytes: malformed image") (fun () ->
       ignore (Checkpoint.of_bytes truncated))
 
+(* Regression: [of_bytes] used to accept images whose framing was intact
+   but whose page table was corrupt — a duplicated vpage entry restores by
+   silently double-writing the page (last entry wins), and a negative
+   vpage poisons the page map. Both must be rejected up front. *)
+let test_of_bytes_rejects_corrupt_page_table () =
+  let sp = mk_space () in
+  Address_space.set_u8 sp ~addr:0 1;
+  (* page 0 *)
+  Address_space.set_u8 sp ~addr:256 2;
+  (* page 1 *)
+  let b = Checkpoint.to_bytes (Checkpoint.capture sp) in
+  (* Layout: 16-byte header, then per page an 8-byte vpage field followed
+     by 256 bytes of contents. The second page's vpage field sits at
+     16 + 8 + 256. *)
+  let second_vpage_off = 16 + 8 + 256 in
+  let corrupt v =
+    let b' = Bytes.copy b in
+    Bytes.set_int64_le b' second_vpage_off (Int64.of_int v);
+    b'
+  in
+  Alcotest.check_raises "duplicate vpage entry"
+    (Invalid_argument "Checkpoint.of_bytes: malformed image") (fun () ->
+      ignore (Checkpoint.of_bytes (corrupt 0)));
+  Alcotest.check_raises "negative vpage entry"
+    (Invalid_argument "Checkpoint.of_bytes: malformed image") (fun () ->
+      ignore (Checkpoint.of_bytes (corrupt (-1))));
+  (* The uncorrupted image still parses: the checks reject the corruption,
+     not the framing. *)
+  Alcotest.check Alcotest.int "pristine image still parses" 2
+    (Checkpoint.mapped_pages (Checkpoint.of_bytes b))
+
 let test_restore_page_size_mismatch () =
   let sp = mk_space () in
   Address_space.set_int sp ~addr:0 1;
@@ -120,6 +151,8 @@ let () =
           Alcotest.test_case "sparse pages" `Quick test_sparse_pages_preserved;
           Alcotest.test_case "wire roundtrip" `Quick test_bytes_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_of_bytes_rejects_garbage;
+          Alcotest.test_case "rejects corrupt page table" `Quick
+            test_of_bytes_rejects_corrupt_page_table;
           Alcotest.test_case "page size mismatch" `Quick test_restore_page_size_mismatch;
           Alcotest.test_case "transfer cost calibration" `Quick
             test_transfer_cost_calibration;

@@ -171,6 +171,81 @@ let test_retry_after_timeout_succeeds_with_live_majority () =
   check Alcotest.bool "owner is the requester" true
     (Majority.owner m = Some pid)
 
+let verdict =
+  Alcotest.testable
+    (fun fmt v ->
+      Format.pp_print_string fmt
+        (match v with
+        | Majority.Granted -> "Granted"
+        | Majority.Denied -> "Denied"
+        | Majority.No_quorum -> "No_quorum"))
+    ( = )
+
+(* Regression for the malformed-request asymmetry. The voter used to
+   parse a request's round with a default of 0 for unparseable payloads,
+   so a garbled request was treated as round 0 and GRANTED — consuming
+   the durable half of the 0-1 semaphore — while the requester side
+   mapped the same garbage to -1 and would never have counted the reply.
+   With a single voter, one rogue garbled request starved every genuine
+   requester forever. The voter must reject what the requester side
+   rejects. *)
+let test_malformed_request_does_not_consume_grant () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:1 () in
+  let voter = List.hd (Majority.node_pids m) in
+  let got = ref None in
+  (* The rogue fires first: two differently-garbled requests. *)
+  ignore
+    (Engine.spawn eng ~name:"rogue" (fun ctx ->
+         Engine.send ctx ~tag:"vote_req" voter (Payload.Str "junk");
+         Engine.send ctx ~tag:"vote_req" voter (Payload.Int (-1))));
+  ignore
+    (Engine.spawn eng ~name:"genuine" ~start_delay:0.01 (fun ctx ->
+         got := Some (Majority.acquire_verdict ctx m ~reply_timeout:1.);
+         Majority.shutdown m));
+  Engine.run eng;
+  check (Alcotest.option verdict) "garbled requests never hold the vote"
+    (Some Majority.Granted) !got
+
+let test_verdict_denied_is_final () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  let winner = ref None and loser = ref None in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         winner := Some (Majority.acquire_verdict ctx m ~reply_timeout:1.)));
+  ignore
+    (Engine.spawn eng ~start_delay:0.5 (fun ctx ->
+         (* The semaphore is owned by now: every voter answers promptly
+            with a denial — this is [Denied], not a quorum problem, and
+            retrying must not burn backoff time on it. *)
+         loser :=
+           Some
+             (Majority.acquire_retry ctx m ~reply_timeout:1. ~retries:3
+                ~backoff:10. ());
+         Majority.shutdown m));
+  Engine.run eng;
+  check (Alcotest.option verdict) "first requester wins" (Some Majority.Granted)
+    !winner;
+  check (Alcotest.option verdict) "second is denied" (Some Majority.Denied)
+    !loser;
+  (* 3 retries at backoff 10 would push past t = 10; a final verdict
+     returns immediately instead. *)
+  check Alcotest.bool "denial did not trigger backoff" true
+    (Engine.now eng < 5.)
+
+let test_verdict_no_quorum_when_majority_silent () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 ~crashed:[ 0; 1 ] () in
+  let got = ref None in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         got := Some (Majority.acquire_verdict ctx m ~reply_timeout:0.2);
+         Majority.shutdown m));
+  Engine.run eng;
+  check (Alcotest.option verdict)
+    "2 of 3 silent: undecided, not denied" (Some Majority.No_quorum) !got
+
 let test_speculative_requesters_do_not_split_voters () =
   (* The voters are oblivious: requests from speculative alternatives (with
      non-trivial predicates) must not spawn voter worlds. *)
@@ -216,5 +291,11 @@ let () =
             test_retry_after_timeout_succeeds_with_live_majority;
           Alcotest.test_case "speculative requesters, oblivious voters" `Quick
             test_speculative_requesters_do_not_split_voters;
+          Alcotest.test_case "malformed request cannot hold the vote" `Quick
+            test_malformed_request_does_not_consume_grant;
+          Alcotest.test_case "denied is final, skips backoff" `Quick
+            test_verdict_denied_is_final;
+          Alcotest.test_case "silent majority is no-quorum" `Quick
+            test_verdict_no_quorum_when_majority_silent;
         ] );
     ]

@@ -147,6 +147,32 @@ let test_concurrent_distributed_policy () =
   check Alcotest.bool "works with a crashed sync node" true
     (r.Recovery_block.verdict = `Accepted (1, 2))
 
+(* Regression: [run_concurrent] used to report
+   [attempts = List.length rb.alternates], as if every version had run —
+   but the whole point of the transformation is that the winner's
+   elimination wave cuts the losers short. With one fast winner and two
+   slow losers only the winner runs its version (and acceptance test) to
+   a verdict, so [attempts] must be 1, not 3. *)
+let test_concurrent_attempts_counts_finished_versions () =
+  let eng = mk_engine () in
+  let rb =
+    Recovery_block.make ~acceptance:accept_positive
+      [ timed "fast" 0.1 1; timed "slow-a" 5. 2; timed "slow-b" 5. 3 ]
+  in
+  let r = in_process eng (fun ctx -> Recovery_block.run_concurrent ctx rb) in
+  check Alcotest.bool "fast version accepted" true
+    (r.Recovery_block.verdict = `Accepted (0, 1));
+  check Alcotest.int "only the winner ran to a verdict" 1
+    r.Recovery_block.attempts;
+  (* And when every version does finish (all rejected), they all count. *)
+  let eng = mk_engine () in
+  let rb =
+    Recovery_block.make ~acceptance:accept_positive
+      [ timed "a" 1. (-1); timed "b" 2. 0 ]
+  in
+  let r = in_process eng (fun ctx -> Recovery_block.run_concurrent ctx rb) in
+  check Alcotest.int "all finished versions count" 2 r.Recovery_block.attempts
+
 let test_to_alternatives_folds_acceptance () =
   let eng = mk_engine () in
   let rb = Recovery_block.make ~acceptance:accept_positive [ timed "neg" 0.1 (-5) ] in
@@ -166,17 +192,25 @@ let test_fault_always_crash () =
   check Alcotest.bool "crashing version skipped" true
     (r.Recovery_block.verdict = `Accepted (1, 2))
 
+(* Regression: [Wrong] without [~corrupt] must be rejected at wrap time.
+   Pre-fix, [always]/[wrap] returned a seemingly valid alternate that only
+   raised inside the child — indistinguishable from a failing version. *)
 let test_fault_wrong_requires_corrupt () =
-  let eng = mk_engine () in
-  let alt = Fault.always ~mode:Fault.Wrong (timed "v" 1. 1) in
-  let raised = ref false in
-  ignore
-    (in_process eng (fun ctx ->
-         try alt.Recovery_block.version ctx
-         with Invalid_argument _ ->
-           raised := true;
-           0));
-  check Alcotest.bool "corrupt required" true !raised
+  let eager_always =
+    try
+      ignore (Fault.always ~mode:Fault.Wrong (timed "v" 1. 1));
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "always: corrupt required eagerly" true eager_always;
+  let eager_wrap =
+    let f = Fault.create ~seed:7 in
+    try
+      ignore (Fault.wrap f ~p:0.5 ~mode:Fault.Wrong (timed "v" 1. 1));
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "wrap: corrupt required eagerly" true eager_wrap
 
 let test_fault_wrong_rejected_by_acceptance () =
   let eng = mk_engine () in
@@ -234,6 +268,8 @@ let () =
           Alcotest.test_case "beats sequential under faults" `Quick
             test_concurrent_faster_than_sequential_under_faults;
           Alcotest.test_case "all rejected" `Quick test_concurrent_all_rejected;
+          Alcotest.test_case "attempts counts finished versions" `Quick
+            test_concurrent_attempts_counts_finished_versions;
           Alcotest.test_case "distributed (consensus) policy" `Quick
             test_concurrent_distributed_policy;
           Alcotest.test_case "to_alternatives" `Quick test_to_alternatives_folds_acceptance;
