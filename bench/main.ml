@@ -48,6 +48,49 @@ let bench_cow_write =
          Page_map.write child ~vpage:7 ~off:0 ~src:(Bytes.make 8 'c') ~copied;
          Page_map.release child))
 
+let bench_scalar_fast_path =
+  let store = Frame_store.create ~page_size:4096 in
+  let space = Address_space.create ~size_hint:4096 store Cost_model.modern in
+  let () =
+    Address_space.set_int space ~addr:0 1;
+    ignore (Address_space.drain_cost space)
+  in
+  Test.make ~name:"address_space scalar get_int+set_int (in place)"
+    (Staged.stage (fun () ->
+         Address_space.set_int space ~addr:8
+           (Address_space.get_int space ~addr:0 + 1)))
+
+let bench_scalar_byte_path =
+  let store = Frame_store.create ~page_size:4096 in
+  let space = Address_space.create ~size_hint:4096 store Cost_model.modern in
+  let () =
+    Address_space.set_int space ~addr:0 1;
+    ignore (Address_space.drain_cost space)
+  in
+  Test.make ~name:"address_space scalar via read/write_bytes"
+    (Staged.stage (fun () ->
+         let b = Address_space.read_bytes space ~addr:0 ~len:8 in
+         let v = Int64.to_int (Bytes.get_int64_le b 0) in
+         let out = Bytes.create 8 in
+         Bytes.set_int64_le out 0 (Int64.of_int (v + 1));
+         Address_space.write_bytes space ~addr:8 out))
+
+let bench_absorb_dirty =
+  let store = Frame_store.create ~page_size:4096 in
+  let parent = Page_map.create store in
+  let () =
+    for vp = 0 to 255 do
+      ignore (Page_map.set_u8 parent ~vpage:vp ~off:0 1)
+    done
+  in
+  Test.make ~name:"page_map fork + 4 dirty + absorb (256 mapped)"
+    (Staged.stage (fun () ->
+         let child = Page_map.fork parent in
+         for vp = 0 to 3 do
+           ignore (Page_map.set_u8 child ~vpage:vp ~off:1 2)
+         done;
+         Page_map.absorb ~parent ~child))
+
 let bench_predicate_ops =
   let a =
     Predicate.make
@@ -158,7 +201,8 @@ let microbenchmarks () =
   Format.printf "@.== Microbenchmarks (Bechamel, OLS ns/run) ==@.@.";
   let tests =
     [
-      bench_page_map_fork; bench_cow_write; bench_predicate_ops; bench_unify;
+      bench_page_map_fork; bench_cow_write; bench_scalar_fast_path;
+      bench_scalar_byte_path; bench_absorb_dirty; bench_predicate_ops; bench_unify;
       bench_event_queue; bench_engine_race; bench_prolog_solve;
       bench_message_round; bench_checkpoint; bench_txn_commit;
       bench_consensus_round; bench_replica_quorum;

@@ -1,0 +1,36 @@
+(** Microbenchmarks for the memory-hierarchy fast paths.
+
+    Measures minor-heap words per operation (deterministic) and operations
+    per second (indicative) for scalar page access, fork, absorb, and IPC,
+    comparing the in-place fast paths against the byte-range paths the old
+    accessors reduced to. Backs [altbench mem] and the [@perf-smoke]
+    alias. *)
+
+type sample = {
+  name : string;
+  ops : int;
+  minor_words_per_op : float;
+  ops_per_sec : float;
+}
+
+type report = {
+  samples : sample list;
+  absorb : sample list;
+  absorb_dirty : int list;
+  absorb_mapped : int;
+}
+
+val run : ?scale:float -> unit -> report
+(** Run every benchmark. [scale] multiplies the iteration counts (use a
+    small value for smoke tests). *)
+
+val to_json : report -> string
+(** Render as the [altbench-mem/1] JSON schema (the format committed as
+    [BENCH_mem.json]). *)
+
+val validate : report -> (unit, string list) result
+(** Check the allocation contracts: zero minor words per scalar int
+    read/write, a >= 5x reduction against the byte-range path, O(1) fork
+    allocation, and absorb allocation scaling with the dirty count rather
+    than the mapped count. All checks are allocation counts, so they are
+    machine-independent. *)

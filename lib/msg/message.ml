@@ -5,14 +5,16 @@ type t = {
   payload : Payload.t;
   tag : string;
   seq : int;
+  size : int;
 }
-
-let make ~sender ~dest ~predicate ?(tag = "") ~seq payload =
-  { sender; dest; predicate; payload; tag; seq }
 
 let header_bytes = 32
 
-let size_bytes t = header_bytes + Payload.size_bytes t.payload
+let make ~sender ~dest ~predicate ?(tag = "") ~seq payload =
+  { sender; dest; predicate; payload; tag; seq;
+    size = header_bytes + Payload.size_bytes payload }
+
+let size_bytes t = t.size
 
 let pp ppf t =
   Format.fprintf ppf "%a->%a #%d %s%s%a %a" Pid.pp t.sender Pid.pp t.dest t.seq

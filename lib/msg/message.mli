@@ -13,6 +13,7 @@ type t = {
   payload : Payload.t;
   tag : string;  (** Protocol tag, part of the control information. *)
   seq : int;  (** Per-sender sequence number: IPC is reliable and FIFO. *)
+  size : int;  (** Wire size, computed once at construction. *)
 }
 
 val make :
@@ -25,6 +26,7 @@ val make :
   t
 
 val size_bytes : t -> int
-(** Payload size plus a fixed header estimate, for message costing. *)
+(** Payload size plus a fixed header estimate, for message costing.
+    Constant time: the payload tree is measured once, in {!make}. *)
 
 val pp : Format.formatter -> t -> unit

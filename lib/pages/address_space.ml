@@ -20,6 +20,8 @@ let drain_cost t =
 let check_addr ~addr ~len =
   if addr < 0 || len < 0 then invalid_arg "Address_space: negative address"
 
+let fault_cost t = add_cost t (Cost_model.copy_cost t.model_ ~pages:1)
+
 (* Apply [f page off chunk_len data_off] to each page-aligned chunk of the
    range [addr, addr+len). *)
 let iter_chunks t ~addr ~len f =
@@ -39,18 +41,14 @@ let iter_chunks t ~addr ~len f =
 let read_bytes t ~addr ~len =
   let out = Bytes.create len in
   iter_chunks t ~addr ~len (fun ~vpage ~off ~chunk ~data_off ->
-      let b = Page_map.read t.map_ ~vpage ~off ~len:chunk in
-      Bytes.blit b 0 out data_off chunk);
+      Page_map.read_into t.map_ ~vpage ~off ~len:chunk ~dst:out ~dst_off:data_off);
   out
 
 let write_bytes t ~addr src =
   let len = Bytes.length src in
   iter_chunks t ~addr ~len (fun ~vpage ~off ~chunk ~data_off ->
-      let copied = ref false in
-      Page_map.write t.map_ ~vpage ~off
-        ~src:(Bytes.sub src data_off chunk)
-        ~copied;
-      if !copied then add_cost t (Cost_model.copy_cost t.model_ ~pages:1))
+      if Page_map.write_from t.map_ ~vpage ~off ~src ~src_off:data_off ~len:chunk
+      then fault_cost t)
 
 let create ?(size_hint = 0) store model =
   if Frame_store.page_size store <> model.Cost_model.page_size then
@@ -88,33 +86,74 @@ let absorb ~parent ~child =
 
 let release t = Page_map.release t.map_
 
-let get_u8 t ~addr = Char.code (Bytes.get (read_bytes t ~addr ~len:1) 0)
+(* Scalar accessors ride the page map's in-place fast paths whenever the
+   access stays inside one page; only a page-crossing access (or a
+   serviced fault, which is priced anyway) takes the allocating route. *)
+
+let get_u8 t ~addr =
+  check_addr ~addr ~len:1;
+  let ps = page_size t in
+  Page_map.get_u8 t.map_ ~vpage:(addr / ps) ~off:(addr mod ps)
 
 let set_u8 t ~addr v =
   if v < 0 || v > 0xff then invalid_arg "Address_space.set_u8";
-  write_bytes t ~addr (Bytes.make 1 (Char.chr v))
+  check_addr ~addr ~len:1;
+  let ps = page_size t in
+  if Page_map.set_u8 t.map_ ~vpage:(addr / ps) ~off:(addr mod ps) v then
+    fault_cost t
 
-let get_i64 t ~addr = Bytes.get_int64_le (read_bytes t ~addr ~len:8) 0
+let get_i64 t ~addr =
+  check_addr ~addr ~len:8;
+  let ps = page_size t in
+  let off = addr mod ps in
+  if off + 8 <= ps then Page_map.get_i64 t.map_ ~vpage:(addr / ps) ~off
+  else Bytes.get_int64_le (read_bytes t ~addr ~len:8) 0
 
 let set_i64 t ~addr v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 v;
-  write_bytes t ~addr b
+  check_addr ~addr ~len:8;
+  let ps = page_size t in
+  let off = addr mod ps in
+  if off + 8 <= ps then begin
+    if Page_map.set_i64 t.map_ ~vpage:(addr / ps) ~off v then fault_cost t
+  end
+  else begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    write_bytes t ~addr b
+  end
 
-let get_int t ~addr = Int64.to_int (get_i64 t ~addr)
-let set_int t ~addr v = set_i64 t ~addr (Int64.of_int v)
+let get_int t ~addr =
+  check_addr ~addr ~len:8;
+  let ps = page_size t in
+  let off = addr mod ps in
+  if off + 8 <= ps then Page_map.get_int t.map_ ~vpage:(addr / ps) ~off
+  else Int64.to_int (Bytes.get_int64_le (read_bytes t ~addr ~len:8) 0)
+
+let set_int t ~addr v =
+  check_addr ~addr ~len:8;
+  let ps = page_size t in
+  let off = addr mod ps in
+  if off + 8 <= ps then begin
+    if Page_map.set_int t.map_ ~vpage:(addr / ps) ~off v then fault_cost t
+  end
+  else begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    write_bytes t ~addr b
+  end
+
 let get_float t ~addr = Int64.float_of_bits (get_i64 t ~addr)
 let set_float t ~addr v = set_i64 t ~addr (Int64.bits_of_float v)
 
 let get_string t ~addr ~len = Bytes.to_string (read_bytes t ~addr ~len)
 let set_string t ~addr s = write_bytes t ~addr (Bytes.of_string s)
 
+(* A pure fault probe: no byte is read or written, so a page that is
+   already private costs (and counts) nothing — the old read-then-rewrite
+   implementation charged a spurious write per page. *)
 let touch t ~addr ~len =
-  iter_chunks t ~addr ~len (fun ~vpage ~off ~chunk:_ ~data_off:_ ->
-      let b = Page_map.read t.map_ ~vpage ~off ~len:1 in
-      let copied = ref false in
-      Page_map.write t.map_ ~vpage ~off ~src:b ~copied;
-      if !copied then add_cost t (Cost_model.copy_cost t.model_ ~pages:1))
+  iter_chunks t ~addr ~len (fun ~vpage ~off:_ ~chunk:_ ~data_off:_ ->
+      if Page_map.touch_page t.map_ ~vpage then fault_cost t)
 
 let cow_copies t = Page_map.cow_copies t.map_
 let mapped_pages t = Page_map.mapped_pages t.map_

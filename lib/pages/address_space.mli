@@ -37,6 +37,10 @@ val write_bytes : t -> addr:int -> bytes -> unit
     copy-on-write fault costs into the pending total. Negative addresses
     raise [Invalid_argument]. *)
 
+(** Scalar accessors route through {!Page_map}'s in-place fast paths when
+    the access does not cross a page boundary; [get_u8]/[set_u8]/
+    [get_int]/[set_int] are allocation-free on that path. *)
+
 val get_u8 : t -> addr:int -> int
 val set_u8 : t -> addr:int -> int -> unit
 val get_i64 : t -> addr:int -> int64
@@ -49,9 +53,11 @@ val get_string : t -> addr:int -> len:int -> string
 val set_string : t -> addr:int -> string -> unit
 
 val touch : t -> addr:int -> len:int -> unit
-(** Write-touch every page overlapping [addr, addr+len): forces
-    materialisation / privatisation without changing contents. Models a
-    program whose working set dirties a known fraction of its pages. *)
+(** Fault-probe every page overlapping [addr, addr+len): forces
+    materialisation / privatisation without reading or changing contents.
+    Charges (and counts) a write only for pages that actually take a
+    copy-on-write fault; already-private pages are free. Models a program
+    whose working set dirties a known fraction of its pages. *)
 
 val pending_cost : t -> float
 (** Accumulated un-charged cost. *)

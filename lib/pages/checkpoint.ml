@@ -5,7 +5,10 @@ let capture space =
   let psize = Page_map.page_size map in
   let pages =
     List.map
-      (fun vpage -> (vpage, Page_map.read map ~vpage ~off:0 ~len:psize))
+      (fun vpage ->
+        let buf = Bytes.create psize in
+        Page_map.read_into map ~vpage ~off:0 ~len:psize ~dst:buf ~dst_off:0;
+        (vpage, buf))
       (Page_map.mapped_vpages map)
   in
   { psize; pages }

@@ -2,6 +2,7 @@ type frame = { mutable fid : int; buf : bytes; mutable refs : int }
 
 type t = {
   page_size : int;
+  zero : bytes;  (* shared all-zero page, for allocation-free comparisons *)
   mutable next_id : int;
   mutable live : int;
   mutable allocs : int;
@@ -11,7 +12,10 @@ type t = {
 
 let create ~page_size =
   if page_size <= 0 then invalid_arg "Frame_store.create: page_size";
-  { page_size; next_id = 0; live = 0; allocs = 0; copies = 0; free = [] }
+  { page_size; zero = Bytes.make page_size '\000'; next_id = 0; live = 0;
+    allocs = 0; copies = 0; free = [] }
+
+let zero_page t = t.zero
 
 let page_size t = t.page_size
 

@@ -17,6 +17,11 @@ val create : page_size:int -> t
 
 val page_size : t -> int
 
+val zero_page : t -> bytes
+(** A shared all-zero page of the pool's page size. Callers must never
+    mutate it; it exists so that unmapped pages can be compared against
+    mapped ones without allocating. *)
+
 val alloc : t -> frame
 (** Allocate a fresh zero-filled frame with reference count 1. *)
 

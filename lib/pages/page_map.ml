@@ -1,6 +1,33 @@
+(* A page map is a chain of overlay nodes. [top] is always exclusively
+   owned by this map and is the only layer it may freely mutate; deeper
+   nodes are frozen layers shared copy-on-write with relatives. [fork]
+   freezes the top into a shared base and gives both sides fresh empty
+   overlays, so forking is O(1) regardless of how many pages are mapped,
+   and [absorb] transplants just the child's overlay (O(dirty)).
+
+   Sharing is tracked on nodes, not frames: a frozen node records the
+   nodes layered directly on top of it ([deps]), a top belongs to exactly
+   one live map ([is_top]). A frame is shared — and a write to it must
+   take a copy-on-write fault — exactly when more than one live map
+   currently resolves its page through the node holding it; [resolvers]
+   computes that by walking the dependent tree upward, cutting branches
+   that shadow the page. This reproduces the per-frame reference counts
+   of an eager fork exactly (a loser sibling that keeps running after the
+   winner was absorbed writes its still-exclusive pages in place, for
+   instance), while keeping fork and absorb off the O(mapped) path. *)
+
+type node = {
+  frames : (int, Frame_store.frame) Hashtbl.t;
+  mutable is_top : bool;  (* the private top layer of one live map *)
+  mutable deps : node list;  (* nodes whose [base] is this node *)
+  mutable base : node option;
+}
+
 type t = {
   store : Frame_store.t;
-  mutable table : (int, Frame_store.frame) Hashtbl.t;
+  mutable top : node;
+  mutable mapped : int;  (* distinct vpages resolving to a frame *)
+  mutable fault : bool;  (* scratch: did the last prepare_write COW? *)
   mutable cow_copies : int;
   mutable writes : int;
   mutable reads : int;
@@ -12,37 +39,135 @@ type t = {
   writes_log : (int, int) Hashtbl.t;  (* vpage -> id of the frame written *)
 }
 
+let fresh_top base = { frames = Hashtbl.create 8; is_top = true; deps = []; base }
+
 let create store =
-  { store; table = Hashtbl.create 64; cow_copies = 0; writes = 0; reads = 0;
-    released = false; track = false; reads_log = Hashtbl.create 8;
-    writes_log = Hashtbl.create 8 }
+  { store; top = fresh_top None; mapped = 0; fault = false; cow_copies = 0;
+    writes = 0; reads = 0; released = false; track = false;
+    reads_log = Hashtbl.create 8; writes_log = Hashtbl.create 8 }
 
 let store t = t.store
 let page_size t = Frame_store.page_size t.store
 
 let check t = if t.released then invalid_arg "Page_map: use after release"
 
+(* Resolve [vpage] through the overlay chain; raises [Not_found] when the
+   page is unmapped. Allocation-free. *)
+let rec resolve_node node vpage =
+  match Hashtbl.find node.frames vpage with
+  | f -> f
+  | exception Not_found -> (
+    match node.base with
+    | Some b -> resolve_node b vpage
+    | None -> raise Not_found)
+
+let resolve_opt t vpage =
+  match resolve_node t.top vpage with
+  | f -> Some f
+  | exception Not_found -> None
+
+(* Like [resolve_node], but also says which layer the frame was found
+   in. Slow path only. *)
+let rec resolve_loc node vpage =
+  match Hashtbl.find node.frames vpage with
+  | f -> (f, node)
+  | exception Not_found -> (
+    match node.base with
+    | Some b -> resolve_loc b vpage
+    | None -> raise Not_found)
+
+(* Number of live maps currently resolving [vpage] to the frame held by
+   [node]: walk the layers stacked on [node], cutting any branch that
+   shadows the page. Equals the reference count an eager per-frame scheme
+   would have, at slow-path-only cost. *)
+let resolvers node vpage =
+  let rec above n acc =
+    if Hashtbl.mem n.frames vpage then acc
+    else if n.is_top then acc + 1
+    else List.fold_left (fun acc d -> above d acc) acc n.deps
+  in
+  if node.is_top then 1
+  else List.fold_left (fun acc d -> above d acc) 0 node.deps
+
+let remove_dep b n = b.deps <- List.filter (fun d -> not (d == n)) b.deps
+
+(* While the layer under the top is referenced by nobody else, its history
+   is private: merge the top's entries down over it (freeing the frames
+   they shadow) and adopt it as the new top. Keeps chains short once
+   relatives have released or been absorbed. The no-merge check is
+   allocation-free, so writers run it on every access. *)
+let rec compact t =
+  let top = t.top in
+  match top.base with
+  | Some b when (match b.deps with [ _ ] -> true | _ -> false) ->
+    Hashtbl.iter
+      (fun vpage f ->
+        (match Hashtbl.find_opt b.frames vpage with
+        | Some shadowed -> Frame_store.decref t.store shadowed
+        | None -> ());
+        Hashtbl.replace b.frames vpage f)
+      top.frames;
+    b.deps <- [];
+    b.is_top <- true;
+    t.top <- b;
+    compact t
+  | _ -> ()
+
 let fork parent =
   check parent;
-  let table = Hashtbl.create (Hashtbl.length parent.table) in
-  Hashtbl.iter
-    (fun vpage frame ->
-      Frame_store.incref frame;
-      Hashtbl.replace table vpage frame)
-    parent.table;
-  { store = parent.store; table; cow_copies = 0; writes = 0; reads = 0;
-    released = false; track = parent.track; reads_log = Hashtbl.create 8;
+  compact parent;
+  let top = parent.top in
+  let child_top =
+    if Hashtbl.length top.frames = 0 then begin
+      (* Idle overlay: the child can share the existing base directly
+         (after compaction it is either shared already or absent). *)
+      let ct = fresh_top top.base in
+      (match top.base with Some b -> b.deps <- ct :: b.deps | None -> ());
+      ct
+    end
+    else begin
+      (* Freeze the parent's private layer; parent and child both overlay
+         it from now on. O(1): no frame is touched. *)
+      top.is_top <- false;
+      let pt = fresh_top (Some top) and ct = fresh_top (Some top) in
+      top.deps <- [ pt; ct ];
+      parent.top <- pt;
+      ct
+    end
+  in
+  { store = parent.store; top = child_top; mapped = parent.mapped;
+    fault = false; cow_copies = 0; writes = 0; reads = 0; released = false;
+    track = parent.track; reads_log = Hashtbl.create 8;
     writes_log = Hashtbl.create 8 }
 
 let mapped_pages t =
   check t;
-  Hashtbl.length t.table
+  t.mapped
+
+(* Fold [f] over every mapped vpage with its resolving frame and the
+   layer holding it (topmost occurrence wins, as in [resolve_node]). *)
+let fold_resolved t f acc =
+  let seen = Hashtbl.create (max 16 t.mapped) in
+  let rec go node acc =
+    let acc =
+      Hashtbl.fold
+        (fun vp fr acc ->
+          if Hashtbl.mem seen vp then acc
+          else begin
+            Hashtbl.add seen vp ();
+            f vp fr node acc
+          end)
+        node.frames acc
+    in
+    match node.base with Some b -> go b acc | None -> acc
+  in
+  go t.top acc
 
 let private_pages t =
   check t;
-  Hashtbl.fold
-    (fun _ f acc -> if Frame_store.refcount f = 1 then acc + 1 else acc)
-    t.table 0
+  fold_resolved t
+    (fun vp _ node acc -> if resolvers node vp <= 1 then acc + 1 else acc)
+    0
 
 let shared_pages t = mapped_pages t - private_pages t
 
@@ -51,43 +176,203 @@ let bounds_check t ~off ~len =
   if off < 0 || len < 0 || off + len > ps then
     invalid_arg "Page_map: access crosses page boundary"
 
+let note_read t vpage =
+  t.reads <- t.reads + 1;
+  if t.track then Hashtbl.replace t.reads_log vpage ()
+
+let read_into t ~vpage ~off ~len ~dst ~dst_off =
+  check t;
+  bounds_check t ~off ~len;
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Page_map.read_into: destination range";
+  note_read t vpage;
+  match resolve_node t.top vpage with
+  | f -> Bytes.blit (Frame_store.data f) off dst dst_off len
+  | exception Not_found -> Bytes.fill dst dst_off len '\000'
+
 let read t ~vpage ~off ~len =
   check t;
   bounds_check t ~off ~len;
-  t.reads <- t.reads + 1;
-  if t.track then Hashtbl.replace t.reads_log vpage ();
-  match Hashtbl.find_opt t.table vpage with
-  | None -> Bytes.make len '\000'
-  | Some f -> Bytes.sub (Frame_store.data f) off len
+  note_read t vpage;
+  match resolve_node t.top vpage with
+  | f -> Bytes.sub (Frame_store.data f) off len
+  | exception Not_found -> Bytes.make len '\000'
+
+(* Materialise a zero frame for an unmapped page in the top layer. *)
+let materialize t vpage =
+  let f = Frame_store.alloc t.store in
+  Hashtbl.replace t.top.frames vpage f;
+  t.mapped <- t.mapped + 1;
+  f
+
+let prepare_slow t vpage =
+  match t.top.base with
+  | Some b -> (
+    match resolve_loc b vpage with
+    | shared, owner ->
+      if resolvers owner vpage > 1 then begin
+        (* Someone else still resolves this frame: privatise it. *)
+        let f = Frame_store.alloc_copy t.store shared in
+        Hashtbl.replace t.top.frames vpage f;
+        t.cow_copies <- t.cow_copies + 1;
+        t.fault <- true;
+        f
+      end
+      else begin
+        (* We are the frame's only claimant (relatives shadowed it or
+           died): adopt it into the top so later writes take the fast
+           path. Equivalent to the eager scheme's refcount-1 in-place
+           write — no fault, no copy. *)
+        Hashtbl.remove owner.frames vpage;
+        Hashtbl.replace t.top.frames vpage shared;
+        shared
+      end
+    | exception Not_found -> materialize t vpage)
+  | None -> materialize t vpage
+
+(* Return the writable frame for [vpage], privatising or materialising as
+   needed; [t.fault] says whether a copy-on-write fault was serviced.
+   Allocation-free when the page is already in the top layer. *)
+let prepare_write t vpage =
+  compact t;
+  t.fault <- false;
+  match Hashtbl.find t.top.frames vpage with
+  | f -> f
+  | exception Not_found -> prepare_slow t vpage
+
+let note_write t vpage f =
+  if t.track then Hashtbl.replace t.writes_log vpage (Frame_store.id f)
+
+let write_from t ~vpage ~off ~src ~src_off ~len =
+  check t;
+  bounds_check t ~off ~len;
+  if src_off < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Page_map.write_from: source range";
+  t.writes <- t.writes + 1;
+  let f = prepare_write t vpage in
+  note_write t vpage f;
+  Bytes.blit src src_off (Frame_store.data f) off len;
+  t.fault
 
 let write t ~vpage ~off ~src ~copied =
+  if write_from t ~vpage ~off ~src ~src_off:0 ~len:(Bytes.length src) then
+    copied := true
+
+(* ------------------------------------------------------------------ *)
+(* Scalar fast paths: no [Bytes.sub]/[Bytes.make] per access. The [int]
+   forms are additionally allocation-free (the [int64] forms return a
+   boxed value by nature). *)
+
+let get_u8 t ~vpage ~off =
   check t;
-  let len = Bytes.length src in
-  bounds_check t ~off ~len;
+  bounds_check t ~off ~len:1;
+  note_read t vpage;
+  match resolve_node t.top vpage with
+  | f -> Char.code (Bytes.unsafe_get (Frame_store.data f) off)
+  | exception Not_found -> 0
+
+let set_u8 t ~vpage ~off v =
+  check t;
+  bounds_check t ~off ~len:1;
+  if v < 0 || v > 0xff then invalid_arg "Page_map.set_u8";
   t.writes <- t.writes + 1;
-  let frame =
-    match Hashtbl.find_opt t.table vpage with
-    | None ->
-      let f = Frame_store.alloc t.store in
-      Hashtbl.replace t.table vpage f;
-      f
-    | Some f when Frame_store.refcount f > 1 ->
-      (* Copy-on-write fault: privatise the frame before mutating. *)
-      let f' = Frame_store.alloc_copy t.store f in
-      Frame_store.decref t.store f;
-      Hashtbl.replace t.table vpage f';
-      t.cow_copies <- t.cow_copies + 1;
-      copied := true;
-      f'
-    | Some f -> f
-  in
-  if t.track then Hashtbl.replace t.writes_log vpage (Frame_store.id frame);
-  Bytes.blit src 0 (Frame_store.data frame) off len
+  let f = prepare_write t vpage in
+  note_write t vpage f;
+  Bytes.unsafe_set (Frame_store.data f) off (Char.unsafe_chr v);
+  t.fault
+
+let get_i64 t ~vpage ~off =
+  check t;
+  bounds_check t ~off ~len:8;
+  note_read t vpage;
+  match resolve_node t.top vpage with
+  | f -> Bytes.get_int64_le (Frame_store.data f) off
+  | exception Not_found -> 0L
+
+let set_i64 t ~vpage ~off v =
+  check t;
+  bounds_check t ~off ~len:8;
+  t.writes <- t.writes + 1;
+  let f = prepare_write t vpage in
+  note_write t vpage f;
+  Bytes.set_int64_le (Frame_store.data f) off v;
+  t.fault
+
+(* Little-endian 63-bit load: equals [Int64.to_int (get_i64 ...)] (the
+   top bit is dropped by [lsl]'s modular semantics), written out byte by
+   byte so no intermediate [int64] is boxed. *)
+let get_int t ~vpage ~off =
+  check t;
+  bounds_check t ~off ~len:8;
+  note_read t vpage;
+  match resolve_node t.top vpage with
+  | exception Not_found -> 0
+  | f ->
+    let b = Frame_store.data f in
+    Char.code (Bytes.unsafe_get b off)
+    lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get b (off + 3)) lsl 24)
+    lor (Char.code (Bytes.unsafe_get b (off + 4)) lsl 32)
+    lor (Char.code (Bytes.unsafe_get b (off + 5)) lsl 40)
+    lor (Char.code (Bytes.unsafe_get b (off + 6)) lsl 48)
+    lor (Char.code (Bytes.unsafe_get b (off + 7)) lsl 56)
+
+let set_int t ~vpage ~off v =
+  check t;
+  bounds_check t ~off ~len:8;
+  t.writes <- t.writes + 1;
+  let f = prepare_write t vpage in
+  note_write t vpage f;
+  let b = Frame_store.data f in
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v asr 8) land 0xff));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v asr 16) land 0xff));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr ((v asr 24) land 0xff));
+  Bytes.unsafe_set b (off + 4) (Char.unsafe_chr ((v asr 32) land 0xff));
+  Bytes.unsafe_set b (off + 5) (Char.unsafe_chr ((v asr 40) land 0xff));
+  Bytes.unsafe_set b (off + 6) (Char.unsafe_chr ((v asr 48) land 0xff));
+  Bytes.unsafe_set b (off + 7) (Char.unsafe_chr ((v asr 56) land 0xff));
+  t.fault
+
+(* Fault-only probe: privatise or materialise [vpage] without reading or
+   changing its contents. Counts a write (and returns [true], so the
+   caller charges the copy) only when a copy-on-write fault is actually
+   serviced; a page that is already private is a no-op apart from the
+   access log, and an unmapped page is materialised for free (zero-fill
+   costs nothing in the model). *)
+let touch_page t ~vpage =
+  check t;
+  compact t;
+  match Hashtbl.find t.top.frames vpage with
+  | f ->
+    note_write t vpage f;
+    false
+  | exception Not_found ->
+    t.fault <- false;
+    let f = prepare_slow t vpage in
+    note_write t vpage f;
+    if t.fault then t.writes <- t.writes + 1;
+    t.fault
+
+(* ------------------------------------------------------------------ *)
+
+(* Free a map's hold on [node]: its frames go back to the store and the
+   layer below loses a dependent (recursively, when it was the last). *)
+let rec free_node store node =
+  Hashtbl.iter (fun _ f -> Frame_store.decref store f) node.frames;
+  Hashtbl.reset node.frames;
+  match node.base with
+  | Some b ->
+    remove_dep b node;
+    if b.deps = [] then free_node store b
+  | None -> ()
 
 let release t =
   if not t.released then begin
-    Hashtbl.iter (fun _ f -> Frame_store.decref t.store f) t.table;
-    Hashtbl.reset t.table;
+    free_node t.store t.top;
+    t.top <- fresh_top None;
+    t.mapped <- 0;
     t.released <- true
   end
 
@@ -96,8 +381,11 @@ let released t = t.released
 let absorb ~parent ~child =
   check parent;
   check child;
-  Hashtbl.iter (fun _ f -> Frame_store.decref parent.store f) parent.table;
-  parent.table <- child.table;
+  (* Drop the parent's chain and transplant the child's overlay wholesale:
+     O(child dirty pages), not O(mapped). *)
+  free_node parent.store parent.top;
+  parent.top <- child.top;
+  parent.mapped <- child.mapped;
   parent.cow_copies <- parent.cow_copies + child.cow_copies;
   parent.writes <- parent.writes + child.writes;
   parent.reads <- parent.reads + child.reads;
@@ -105,8 +393,10 @@ let absorb ~parent ~child =
      child keeps its own copy for post-mortem analysis. *)
   Hashtbl.iter (fun k () -> Hashtbl.replace parent.reads_log k ()) child.reads_log;
   Hashtbl.iter (fun k v -> Hashtbl.replace parent.writes_log k v) child.writes_log;
-  child.table <- Hashtbl.create 1;
-  child.released <- true
+  child.top <- fresh_top None;
+  child.mapped <- 0;
+  child.released <- true;
+  compact parent
 
 let cow_copies t = t.cow_copies
 let writes t = t.writes
@@ -127,12 +417,17 @@ let write_log t =
 
 let mapped_vpages t =
   check t;
-  Hashtbl.fold (fun vp _ acc -> vp :: acc) t.table [] |> List.sort compare
+  fold_resolved t (fun vp _ _ acc -> vp :: acc) [] |> List.sort compare
 
 let frame_id t ~vpage =
   check t;
-  Option.map Frame_store.id (Hashtbl.find_opt t.table vpage)
+  Option.map Frame_store.id (resolve_opt t vpage)
 
+(* Stat-neutral by design: auditing a map must not perturb the access
+   counters and logs the analysis layer is about to read (the observer
+   effect the old [read]-based implementation had). Frames are compared by
+   physical identity first — only valid within one store — and byte-wise
+   otherwise, with unmapped pages standing for the shared zero page. *)
 let snapshot_equal a b =
   check a;
   check b;
@@ -140,11 +435,26 @@ let snapshot_equal a b =
   if ps <> page_size b then false
   else begin
     let pages = Hashtbl.create 64 in
-    Hashtbl.iter (fun v _ -> Hashtbl.replace pages v ()) a.table;
-    Hashtbl.iter (fun v _ -> Hashtbl.replace pages v ()) b.table;
+    let add t =
+      let rec go node =
+        Hashtbl.iter (fun v _ -> Hashtbl.replace pages v ()) node.frames;
+        match node.base with Some base -> go base | None -> ()
+      in
+      go t.top
+    in
+    add a;
+    add b;
+    let same_store = a.store == b.store in
     Hashtbl.fold
       (fun vpage () acc ->
         acc
-        && Bytes.equal (read a ~vpage ~off:0 ~len:ps) (read b ~vpage ~off:0 ~len:ps))
+        &&
+        match (resolve_opt a vpage, resolve_opt b vpage) with
+        | None, None -> true
+        | Some fa, Some fb ->
+          (same_store && fa == fb)
+          || Bytes.equal (Frame_store.data fa) (Frame_store.data fb)
+        | Some f, None | None, Some f ->
+          Bytes.equal (Frame_store.data f) (Frame_store.zero_page a.store))
       pages true
   end

@@ -2,10 +2,14 @@
 
     "The state management strategy is copy-on-write with page map
     inheritance from the parent" (paper, section 3.3). A {!t} maps virtual
-    page numbers to {!Frame_store} frames. {!fork} duplicates only the map;
-    frames are shared and copied lazily on first write. {!absorb} implements
-    the [alt_wait] rendezvous: the parent atomically replaces its page
-    pointer with the child's. *)
+    page numbers to {!Frame_store} frames through a chain of overlay
+    layers: the top layer is private to the map, deeper layers are frozen
+    and shared with relatives. {!fork} freezes the parent's top layer and
+    starts both sides with empty overlays (O(1), regardless of how many
+    pages are mapped); frames are copied lazily on first write. {!absorb}
+    implements the [alt_wait] rendezvous: the parent atomically replaces
+    its page pointer with the child's overlay, walking only the child's
+    dirty pages. *)
 
 type t
 
@@ -18,20 +22,24 @@ val page_size : t -> int
 
 val fork : t -> t
 (** [fork parent] is a child map sharing every frame of [parent]
-    copy-on-write. O(mapped pages); the caller charges
-    {!Cost_model.fork_cost}. *)
+    copy-on-write. O(1) amortised: no frame or page-table entry is copied;
+    the caller charges {!Cost_model.fork_cost}. *)
 
 val mapped_pages : t -> int
-(** Number of virtual pages with a materialised frame. *)
+(** Number of virtual pages with a materialised frame. O(1). *)
 
 val private_pages : t -> int
-(** Mapped pages whose frame is referenced by this map alone. *)
+(** Mapped pages whose frame is reachable through this map alone. *)
 
 val shared_pages : t -> int
 (** Mapped pages whose frame is shared with at least one other map. *)
 
 val read : t -> vpage:int -> off:int -> len:int -> bytes
-(** Read [len] bytes at [off] within page [vpage]. Never copies. *)
+(** Read [len] bytes at [off] within page [vpage] into a fresh buffer. *)
+
+val read_into : t -> vpage:int -> off:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** Like {!read}, but blits into [dst] at [dst_off] instead of
+    allocating. Unmapped pages zero-fill the destination range. *)
 
 val write : t -> vpage:int -> off:int -> src:bytes -> copied:bool ref -> unit
 (** Write [src] at [off] within page [vpage]. Sets [copied := true] if a
@@ -40,10 +48,42 @@ val write : t -> vpage:int -> off:int -> src:bytes -> copied:bool ref -> unit
     to an unmapped page materialises a zero frame without setting
     [copied]. *)
 
+val write_from :
+  t -> vpage:int -> off:int -> src:bytes -> src_off:int -> len:int -> bool
+(** Like {!write} for the range [src_off, src_off+len) of [src], without
+    requiring the caller to slice it out. Returns [true] iff a
+    copy-on-write fault was serviced. *)
+
+(** {2 Scalar fast paths}
+
+    Single-value accessors that touch the frame bytes in place — no
+    [Bytes.sub]/[Bytes.make] per access. The [int] forms are additionally
+    allocation-free; [get_int]/[set_int] use the little-endian [int64]
+    encoding truncated to OCaml's 63-bit [int] (identical to
+    [Int64.to_int] of {!get_i64}). All raise [Invalid_argument] when the
+    access would cross the page boundary; {!Address_space} falls back to
+    the byte-range path in that case. Setters return [true] iff a
+    copy-on-write fault was serviced. *)
+
+val get_u8 : t -> vpage:int -> off:int -> int
+val set_u8 : t -> vpage:int -> off:int -> int -> bool
+val get_i64 : t -> vpage:int -> off:int -> int64
+val set_i64 : t -> vpage:int -> off:int -> int64 -> bool
+val get_int : t -> vpage:int -> off:int -> int
+val set_int : t -> vpage:int -> off:int -> int -> bool
+
+val touch_page : t -> vpage:int -> bool
+(** Fault-only probe: ensure [vpage] is privately mapped without reading
+    or changing its contents. Returns [true] — and counts a write — only
+    when a copy-on-write fault was actually serviced (the caller charges
+    the copy); already-private pages are no-ops and unmapped pages are
+    materialised as zero frames for free. *)
+
 val absorb : parent:t -> child:t -> unit
-(** The parent drops all of its frames and takes over the child's table and
-    statistics; the child map becomes released (any further use raises).
-    This is the atomic page-pointer replacement of [alt_wait]. *)
+(** The parent drops all of its frames and takes over the child's overlay
+    and statistics; the child map becomes released (any further use
+    raises). This is the atomic page-pointer replacement of [alt_wait].
+    O(pages the child dirtied), not O(mapped). *)
 
 val release : t -> unit
 (** Drop every frame reference (process elimination). Idempotent. *)
@@ -90,4 +130,7 @@ val frame_id : t -> vpage:int -> int option
 
 val snapshot_equal : t -> t -> bool
 (** [snapshot_equal a b] holds when both maps present identical page
-    contents (zero-extended to the union of their mapped pages). *)
+    contents (zero-extended to the union of their mapped pages).
+    Stat-neutral: auditing never perturbs {!reads}/{!read_log}. Frames
+    shared between maps of the same store short-circuit by identity before
+    any byte comparison. *)

@@ -11,6 +11,10 @@ let record t pid f =
   | Some _ -> invalid_arg "Fate_registry.record: fate already decided"
 
 let normalize t pred =
+  (* Certain predicates (the overwhelmingly common case on the message
+     path) and empty registries have nothing to resolve. *)
+  if Predicate.is_certain pred || Hashtbl.length t = 0 then `Live pred
+  else
   let step pid acc =
     match acc with
     | `Dead -> `Dead

@@ -41,18 +41,26 @@ val mem_fails : t -> Pid.t -> bool
 val implies : t -> t -> bool
 (** [implies r s]: every assumption of [s] is already an assumption of [r].
     This is the paper's "S is a subset of R" immediate-acceptance test (the
-    receiver's world view already agrees with the sender's). *)
+    receiver's world view already agrees with the sender's). Physically
+    equal arguments short-circuit; other pairs are memoised per domain by
+    interned id, so the per-message cost is amortised constant. *)
 
 val conflicts : t -> t -> bool
 (** [conflicts r s]: some process is assumed to complete by one side and to
-    fail by the other. Such a message is ignored by the receiver. *)
+    fail by the other. Such a message is ignored by the receiver. Memoised
+    like {!implies}. *)
 
 val conjoin : t -> t -> t
 (** Union of assumptions. Raises [Invalid_argument] if the two conflict;
     callers should test {!conflicts} first. *)
 
 val equal : t -> t -> bool
+(** Constant time: predicates are hash-consed, so structural equality
+    coincides with physical equality. *)
+
 val compare : t -> t -> int
+(** Structural (by pid sets), deliberately independent of interning order,
+    so orderings derived from it are schedule-deterministic. *)
 
 type fate = Completed | Failed
 (** The eventual resolution of a process. *)

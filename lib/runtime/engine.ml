@@ -436,14 +436,15 @@ and sweep t =
 (* Message scanning: accept / ignore / split (section 3.4.2).          *)
 
 and try_receive t pcb tag : Message.t option =
-  (* Walk the mailbox in order; honour per-sender FIFO when deferring. *)
-  let blocked = Hashtbl.create 4 in
-  let rec scan acc = function
+  (* Walk the mailbox in order; honour per-sender FIFO when deferring.
+     [blocked] (senders we must not overtake) is threaded as a list so the
+     common no-deferral scan allocates nothing. *)
+  let rec scan blocked acc = function
     | [] ->
       pcb.mailbox <- List.rev acc;
       None
     | m :: rest ->
-      let skip () = scan (m :: acc) rest in
+      let skip () = scan blocked (m :: acc) rest in
       let matches_tag =
         match tag with None -> true | Some wanted -> String.equal m.Message.tag wanted
       in
@@ -455,13 +456,19 @@ and try_receive t pcb tag : Message.t option =
         pcb.mailbox <- List.rev_append acc rest;
         Some m
       end
-      else if Hashtbl.mem blocked m.Message.sender then skip ()
+      else if
+        (* Empty-list check first: no closure is built unless a sender has
+           actually been deferred during this scan. *)
+        (match blocked with
+        | [] -> false
+        | _ -> List.exists (Pid.equal m.Message.sender) blocked)
+      then skip ()
       else begin
         match Fate_registry.normalize t.reg m.Message.predicate with
         | `Dead ->
           (* The sender's world died: the message never happened. *)
           tr t (Trace.Ignored { dest = pcb.pid; msg = m; reason = "dead world" });
-          scan acc rest
+          scan blocked acc rest
         | `Live s ->
           if Predicate.implies pcb.predicate s then begin
             tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
@@ -470,7 +477,7 @@ and try_receive t pcb tag : Message.t option =
           end
           else if Predicate.conflicts pcb.predicate s then begin
             tr t (Trace.Ignored { dest = pcb.pid; msg = m; reason = "conflict" });
-            scan acc rest
+            scan blocked acc rest
           end
           else begin
             (* The message requires new assumptions. *)
@@ -480,12 +487,11 @@ and try_receive t pcb tag : Message.t option =
               Some m
             | `Deferred ->
               (* Keep waiting: do not overtake this sender (FIFO). *)
-              Hashtbl.replace blocked m.Message.sender ();
-              skip ()
+              scan (m.Message.sender :: blocked) (m :: acc) rest
           end
       end
   in
-  scan [] pcb.mailbox
+  scan [] [] pcb.mailbox
 
 (* Receiver [pcb] is about to accept [m] whose (normalized) sending
    predicate [s] extends the receiver's assumptions. Create the rejecting

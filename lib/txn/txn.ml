@@ -115,16 +115,23 @@ let commit ctx t =
     finish t;
     Error c
   | None ->
-    (* Write phase: apply the write set to the committed store. *)
+    (* Write phase: apply the write set to the committed store. The write
+       values are read out and the snapshot released first, so that the
+       store's pages are no longer shared with it when they are updated in
+       place (no spurious copy-on-write fault is charged). *)
+    let writeback =
+      List.map
+        (fun key -> (key, Address_space.get_int t.snapshot ~addr:(addr_of key)))
+        (sorted_keys t.writes)
+    in
+    finish t;
     List.iter
-      (fun key ->
-        let v = Address_space.get_int t.snapshot ~addr:(addr_of key) in
+      (fun (key, v) ->
         Address_space.set_int t.st.space ~addr:(addr_of key) v;
         t.st.versions.(key) <- t.st.versions.(key) + 1)
-      (sorted_keys t.writes);
+      writeback;
     charge ctx t.st.space;
     t.st.commit_count <- t.st.commit_count + 1;
-    finish t;
     Ok ()
 
 let with_txn ctx st ?(retries = 3) f =

@@ -225,6 +225,137 @@ let test_space_page_size_mismatch () =
     (Invalid_argument "Address_space.create: store/model page size mismatch")
     (fun () -> ignore (Address_space.create store model))
 
+let test_space_scalar_cross_page () =
+  (* Scalars that straddle a page boundary must fall back to the byte
+     path and still round-trip, including negative values. *)
+  let sp = mk_space () in
+  let addr = 256 - 4 in
+  Address_space.set_int sp ~addr (-123456789);
+  check Alcotest.int "cross-page int" (-123456789) (Address_space.get_int sp ~addr);
+  Address_space.set_i64 sp ~addr:(512 - 3) 0x1122334455667788L;
+  check Alcotest.int64 "cross-page i64" 0x1122334455667788L
+    (Address_space.get_i64 sp ~addr:(512 - 3));
+  (* And the in-page fast path agrees with the byte path bit for bit. *)
+  Address_space.set_int sp ~addr:1024 min_int;
+  check Alcotest.int "min_int" min_int (Address_space.get_int sp ~addr:1024);
+  check Alcotest.int64 "same bytes as i64"
+    (Int64.of_int min_int)
+    (Address_space.get_i64 sp ~addr:1024)
+
+let test_space_touch_private_is_free () =
+  (* Satellite: [touch] is a fault-only probe. A page that is already
+     private must cost nothing and count no write; an unmapped page is
+     materialised for free; only a genuine COW fault is charged. *)
+  let sp = mk_space () in
+  Address_space.set_int sp ~addr:0 5;
+  ignore (Address_space.drain_cost sp);
+  let writes_before = Page_map.writes (Address_space.map sp) in
+  Address_space.touch sp ~addr:0 ~len:8;
+  check Alcotest.int "no write counted on private page" writes_before
+    (Page_map.writes (Address_space.map sp));
+  check cf "no cost on private page" 0. (Address_space.pending_cost sp);
+  Address_space.touch sp ~addr:2048 ~len:1;
+  check Alcotest.int "unmapped page materialised" 2 (Address_space.mapped_pages sp);
+  check Alcotest.int "no write counted on unmapped page" writes_before
+    (Page_map.writes (Address_space.map sp));
+  check cf "no cost on unmapped page" 0. (Address_space.pending_cost sp);
+  (* Shared page: the probe must privatise, count one write, and charge. *)
+  let child = Address_space.fork sp in
+  ignore (Address_space.drain_cost child);
+  let w0 = Page_map.writes (Address_space.map child) in
+  Address_space.touch child ~addr:0 ~len:1;
+  check Alcotest.int "one write counted on shared page" (w0 + 1)
+    (Page_map.writes (Address_space.map child));
+  check Alcotest.int "one cow fault" 1 (Address_space.cow_copies child);
+  check cf "exactly one page copy charged"
+    (Cost_model.copy_cost model ~pages:1)
+    (Address_space.pending_cost child)
+
+let test_snapshot_equal_is_stat_neutral () =
+  (* Satellite: auditing with [snapshot_equal] (and reading the logs) must
+     not perturb the counters or logs it is auditing. *)
+  let s = mk_store () in
+  let a = Page_map.create s in
+  Page_map.set_tracking a true;
+  let copied = ref false in
+  Page_map.write a ~vpage:0 ~off:0 ~src:(Bytes.of_string "zz") ~copied;
+  let b = Page_map.fork a in
+  Page_map.write b ~vpage:3 ~off:0 ~src:(Bytes.of_string "w") ~copied;
+  ignore (Page_map.read a ~vpage:0 ~off:0 ~len:2);
+  let reads_a = Page_map.reads a and writes_a = Page_map.writes a in
+  let reads_b = Page_map.reads b and writes_b = Page_map.writes b in
+  let rlog_a = Page_map.read_log a and wlog_a = Page_map.write_log a in
+  ignore (Page_map.snapshot_equal a b);
+  ignore (Page_map.snapshot_equal a a);
+  check Alcotest.int "a.reads unchanged" reads_a (Page_map.reads a);
+  check Alcotest.int "a.writes unchanged" writes_a (Page_map.writes a);
+  check Alcotest.int "b.reads unchanged" reads_b (Page_map.reads b);
+  check Alcotest.int "b.writes unchanged" writes_b (Page_map.writes b);
+  check Alcotest.(list int) "a read log unchanged" rlog_a (Page_map.read_log a);
+  check
+    Alcotest.(list (pair int int))
+    "a write log unchanged" wlog_a (Page_map.write_log a)
+
+(* Satellite: frame conservation across fork / write / absorb / release
+   schedules. After the tree of maps has been absorbed and released back
+   down to the root, every mapped page must be backed by exactly one live
+   frame, and releasing the root must reclaim them all. *)
+let test_frame_conservation_schedules () =
+  for seed = 0 to 99 do
+    let rng = Random.State.make [| 7 * seed + 13 |] in
+    let store = mk_store () in
+    let root = Page_map.create store in
+    let copied = ref false in
+    let wr m =
+      Page_map.write m
+        ~vpage:(Random.State.int rng 12)
+        ~off:(Random.State.int rng 200)
+        ~src:(Bytes.make (1 + Random.State.int rng 8) 'w')
+        ~copied
+    in
+    for _ = 0 to 3 do
+      wr root
+    done;
+    (* [edges] is a stack of fork edges; absorbing or releasing always
+       picks a leaf (the most recent edge), like nested alt blocks do. *)
+    let edges = ref [] in
+    for _ = 0 to 40 do
+      match Random.State.int rng 4 with
+      | 0 ->
+        let parent =
+          match !edges with [] -> root | (_, child) :: _ -> child
+        in
+        edges := (parent, Page_map.fork parent) :: !edges
+      | 1 -> (
+        match !edges with
+        | [] -> wr root
+        | (parent, child) :: rest ->
+          Page_map.absorb ~parent ~child;
+          edges := rest)
+      | 2 -> (
+        match !edges with
+        | [] -> wr root
+        | (_, child) :: rest ->
+          Page_map.release child;
+          edges := rest)
+      | _ ->
+        let m = match !edges with [] -> root | (_, child) :: _ -> child in
+        wr m
+    done;
+    List.iter (fun (_, child) -> Page_map.release child) !edges;
+    if
+      not
+        (Frame_store.live_frames store = Page_map.mapped_pages root)
+    then
+      Alcotest.failf "seed %d: %d live frames for %d mapped pages" seed
+        (Frame_store.live_frames store)
+        (Page_map.mapped_pages root);
+    Page_map.release root;
+    if Frame_store.live_frames store <> 0 then
+      Alcotest.failf "seed %d: %d frames leaked after release" seed
+        (Frame_store.live_frames store)
+  done
+
 (* ---------------- Heap ---------------- *)
 
 let test_heap_cells () =
@@ -417,6 +548,10 @@ let () =
           Alcotest.test_case "release idempotent + guard" `Quick test_map_release_idempotent;
           Alcotest.test_case "bounds check" `Quick test_map_bounds;
           Alcotest.test_case "snapshot_equal" `Quick test_map_snapshot_equal;
+          Alcotest.test_case "snapshot_equal is stat-neutral" `Quick
+            test_snapshot_equal_is_stat_neutral;
+          Alcotest.test_case "frame conservation over 100 schedules" `Quick
+            test_frame_conservation_schedules;
         ] );
       ( "address_space",
         [
@@ -426,6 +561,10 @@ let () =
           Alcotest.test_case "fork isolation and 3B2 cost" `Quick test_space_fork_isolation_and_cost;
           Alcotest.test_case "absorb merges" `Quick test_space_absorb_merges;
           Alcotest.test_case "touch privatises" `Quick test_space_touch;
+          Alcotest.test_case "touch on private/unmapped is free" `Quick
+            test_space_touch_private_is_free;
+          Alcotest.test_case "scalar cross-page fallback" `Quick
+            test_space_scalar_cross_page;
           Alcotest.test_case "page-size mismatch" `Quick test_space_page_size_mismatch;
         ] );
       ( "heap",

@@ -87,6 +87,22 @@ let test_equal_compare () =
 let test_pp () =
   check Alcotest.string "printed" "{+P1 -P2}" (Predicate.to_string (pred [ 1 ] [ 2 ]))
 
+let test_hash_consing () =
+  (* Predicates are interned: structural equality coincides with physical
+     equality, regardless of construction order or route. *)
+  check Alcotest.bool "same lists, same box" true
+    (pred [ 1; 2 ] [ 3 ] == pred [ 2; 1 ] [ 3 ]);
+  check Alcotest.bool "assume route reaches the same box" true
+    (Predicate.assume_completes (pred [ 1 ] [ 3 ]) (p 2) == pred [ 1; 2 ] [ 3 ]);
+  check Alcotest.bool "conjoin route reaches the same box" true
+    (Predicate.conjoin (pred [ 1 ] []) (pred [ 2 ] [ 3 ]) == pred [ 1; 2 ] [ 3 ]);
+  check Alcotest.bool "empty is unique" true
+    (pred [] [] == Predicate.empty);
+  (* [resolve] re-interns its result. *)
+  (match Predicate.resolve (pred [ 1; 2 ] []) ~pid:(p 2) ~fate:Predicate.Completed with
+  | Predicate.Simplified q -> check Alcotest.bool "resolved box" true (q == pred [ 1 ] [])
+  | _ -> Alcotest.fail "expected Simplified")
+
 (* ---------------- Fate_registry ---------------- *)
 
 let test_registry_record_and_fate () =
@@ -129,6 +145,29 @@ let gen_pred =
         (Predicate.make
            ~must_complete:(List.map Pid.of_int completes)
            ~must_fail:(List.map Pid.of_int fails)))
+
+let prop_memoised_implies_conflicts =
+  (* The memo caches must agree with a from-scratch structural check, on
+     first use and on the cached second use. *)
+  let subset a b = Pid.Set.subset a b in
+  QCheck.Test.make ~name:"memoised implies/conflicts match structural truth"
+    ~count:500 (QCheck.pair gen_pred gen_pred) (fun (r, s) ->
+      let naive_implies =
+        subset (Predicate.must_complete s) (Predicate.must_complete r)
+        && subset (Predicate.must_fail s) (Predicate.must_fail r)
+      in
+      let naive_conflicts =
+        (not
+           (Pid.Set.is_empty
+              (Pid.Set.inter (Predicate.must_complete r) (Predicate.must_fail s))))
+        || not
+             (Pid.Set.is_empty
+                (Pid.Set.inter (Predicate.must_fail r) (Predicate.must_complete s)))
+      in
+      Predicate.implies r s = naive_implies
+      && Predicate.implies r s = naive_implies
+      && Predicate.conflicts r s = naive_conflicts
+      && Predicate.conflicts r s = naive_conflicts)
 
 let prop_implies_reflexive =
   QCheck.Test.make ~name:"implies is reflexive" ~count:300 gen_pred (fun q ->
@@ -173,6 +212,7 @@ let () =
           Alcotest.test_case "conjoin" `Quick test_conjoin;
           Alcotest.test_case "resolve" `Quick test_resolve;
           Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+          Alcotest.test_case "hash-consing" `Quick test_hash_consing;
           Alcotest.test_case "printing" `Quick test_pp;
         ] );
       ( "fate_registry",
@@ -183,6 +223,7 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
+            prop_memoised_implies_conflicts;
             prop_implies_reflexive;
             prop_conjoin_implies_both;
             prop_conflicts_symmetric;
