@@ -12,10 +12,13 @@
                                         fault-injection campaigns
      altcheck fuzz --verify-determinism re-execute every cell and fail on
                                         any byte-level divergence
+     altcheck sites [--seeds N]         run supervised (coordinator-recovery)
+                                        blocks under site-crash and
+                                        partition campaigns
 
    Exit code 0 when every run satisfies every invariant; otherwise the
    exit code of the most severe violated class (see Report.class_exit_code).
-   altcheck fuzz exits 20 on a determinism-contract breach. *)
+   altcheck fuzz/sites exit 20 on a determinism-contract breach. *)
 
 open Cmdliner
 
@@ -258,6 +261,136 @@ let fuzz_cmd =
       const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
       $ quiet $ jobs_arg)
 
+(* ---------------- sites ---------------- *)
+
+let sites_cmd =
+  let doc =
+    "Run supervised blocks (coordinator recovery) under deterministic \
+     site-crash and network-partition campaigns."
+  in
+  let seeds =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Seeds per (scenario, campaign, policy) cell.")
+  in
+  let names =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to run (repeatable); sourceless scenarios only — see \
+             $(b,altcheck sites --list).")
+  in
+  let campaign_names =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "campaign" ] ~docv:"NAME"
+          ~doc:"Campaign to run (repeatable); default: all of them.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify-determinism" ]
+          ~doc:
+            "Execute every cell twice and fail (exit 20) unless summaries \
+             and violation reports are byte-identical.")
+  in
+  let list_campaigns =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the site campaigns, policies and scenarios, then exit.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:"Print only violations, mismatches and the summary.")
+  in
+  let run seeds names campaign_names verify list_campaigns quiet jobs =
+    if list_campaigns then begin
+      Printf.printf "topology: %s\n" (String.concat " " Sitefuzz.site_names);
+      Printf.printf "campaigns:\n";
+      List.iter
+        (fun (c : Sitefuzz.campaign) ->
+          Printf.printf "  %-22s%s\n" c.Sitefuzz.sg_name c.Sitefuzz.sg_doc)
+        Sitefuzz.default_campaigns;
+      Printf.printf "policies (%d):\n" (List.length Sitefuzz.default_policies);
+      List.iter
+        (fun p -> Printf.printf "  %s\n" (Concurrent.describe p))
+        Sitefuzz.default_policies;
+      Printf.printf "scenarios:\n";
+      List.iter
+        (fun (s : Invariants.scenario) ->
+          Printf.printf "  %s\n" s.Invariants.sc_name)
+        Sitefuzz.default_scenarios;
+      exit 0
+    end;
+    let scenarios =
+      match names with
+      | [] -> Sitefuzz.default_scenarios
+      | names ->
+        List.map
+          (fun n ->
+            match
+              List.find_opt
+                (fun s -> s.Invariants.sc_name = n)
+                Sitefuzz.default_scenarios
+            with
+            | Some s -> s
+            | None ->
+              Printf.eprintf
+                "unknown scenario %S; try 'altcheck sites --list'\n" n;
+              exit 1)
+          names
+    in
+    let campaigns =
+      match campaign_names with
+      | [] -> Sitefuzz.default_campaigns
+      | names ->
+        List.map
+          (fun n ->
+            match
+              List.find_opt
+                (fun (c : Sitefuzz.campaign) -> c.Sitefuzz.sg_name = n)
+                Sitefuzz.default_campaigns
+            with
+            | Some c -> c
+            | None ->
+              Printf.eprintf
+                "unknown campaign %S; try 'altcheck sites --list'\n" n;
+              exit 1)
+          names
+    in
+    let result = Sitefuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify () in
+    if not quiet then List.iter print_endline result.Sitefuzz.lines;
+    List.iter
+      (fun v -> Format.printf "%a@." Report.pp_violation v)
+      result.Sitefuzz.violations;
+    (match result.Sitefuzz.first_failing with
+    | Some c ->
+      Printf.printf "minimal failing cell: %s\n" (Sitefuzz.describe_cell c)
+    | None -> ());
+    List.iter
+      (fun m -> Printf.printf "DETERMINISM MISMATCH: %s\n" m)
+      result.Sitefuzz.mismatches;
+    Printf.printf "%d site-faulted runs%s, %d violations%s\n"
+      result.Sitefuzz.cells_run
+      (if verify then " (each executed twice)" else "")
+      (List.length result.Sitefuzz.violations)
+      (if verify then
+         Printf.sprintf ", %d determinism mismatches"
+           (List.length result.Sitefuzz.mismatches)
+       else "");
+    if result.Sitefuzz.mismatches <> [] then exit 20;
+    exit (Report.exit_code result.Sitefuzz.violations)
+  in
+  Cmd.v (Cmd.info "sites" ~doc)
+    Term.(
+      const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
+      $ quiet $ jobs_arg)
+
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
@@ -404,4 +537,6 @@ let bench_cmd =
 let () =
   let doc = "Check executions against the transparency paper's invariants" in
   let info = Cmd.info "altcheck" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; fuzz_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; fuzz_cmd; sites_cmd; bench_cmd ]))

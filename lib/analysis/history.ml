@@ -29,6 +29,7 @@ type t = {
   spawn_order : Pid.t list;
   exits : (Pid.t, string list) Hashtbl.t;  (* statuses, oldest first *)
   sync_wins : (Pid.t * int) list;
+  sync_wins_epochs : (Pid.t * int * int) list;
   sync_lates : (Pid.t * int) list;
   absorbs : (Pid.t * Pid.t) list;
   accepts : (Pid.t * Predicate.t * Message.t) list;
@@ -37,6 +38,10 @@ type t = {
   sent : Message.t list;
   injections : (string * Pid.t option * Message.t option) list;
   degradations : (Pid.t * string) list;
+  site_crashes : string list;
+  partitions : (string list * string list) list;
+  heals : (string list * string list) list;
+  recoveries : (Pid.t * Pid.t * int) list;
 }
 
 let of_trace trace =
@@ -47,6 +52,8 @@ let of_trace trace =
   let accepts = ref [] and fates = ref [] and kills = ref [] in
   let sent = ref [] in
   let injections = ref [] and degradations = ref [] in
+  let site_crashes = ref [] and partitions = ref [] and heals = ref [] in
+  let recoveries = ref [] in
   List.iter
     (fun (_, e) ->
       match e with
@@ -56,7 +63,8 @@ let of_trace trace =
       | Trace.Exited { pid; status } ->
         let prev = Option.value ~default:[] (Hashtbl.find_opt exits pid) in
         Hashtbl.replace exits pid (prev @ [ status ])
-      | Trace.Sync_won { pid; index } -> wins := (pid, index) :: !wins
+      | Trace.Sync_won { pid; index; epoch } ->
+        wins := (pid, index, epoch) :: !wins
       | Trace.Sync_late { pid; index } -> lates := (pid, index) :: !lates
       | Trace.Absorbed { parent; child } ->
         absorbs := (parent, child) :: !absorbs
@@ -69,6 +77,12 @@ let of_trace trace =
         injections := (kind, pid, msg) :: !injections
       | Trace.Degraded { parent; reason } ->
         degradations := (parent, reason) :: !degradations
+      | Trace.Site_crashed { site } -> site_crashes := site :: !site_crashes
+      | Trace.Partitioned { left; right } ->
+        partitions := (left, right) :: !partitions
+      | Trace.Healed { left; right } -> heals := (left, right) :: !heals
+      | Trace.Recovered { failed; successor; epoch } ->
+        recoveries := (failed, successor, epoch) :: !recoveries
       | Trace.Started _ | Trace.Delivered _ | Trace.Ignored _ | Trace.Split _
       | Trace.Fate_deferred _ | Trace.Note _ -> ())
     (Trace.events trace);
@@ -76,7 +90,8 @@ let of_trace trace =
     spawns;
     spawn_order = List.rev !spawn_order;
     exits;
-    sync_wins = List.rev !wins;
+    sync_wins = List.rev_map (fun (pid, index, _) -> (pid, index)) !wins;
+    sync_wins_epochs = List.rev !wins;
     sync_lates = List.rev !lates;
     absorbs = List.rev !absorbs;
     accepts = List.rev !accepts;
@@ -85,6 +100,10 @@ let of_trace trace =
     sent = List.rev !sent;
     injections = List.rev !injections;
     degradations = List.rev !degradations;
+    site_crashes = List.rev !site_crashes;
+    partitions = List.rev !partitions;
+    heals = List.rev !heals;
+    recoveries = List.rev !recoveries;
   }
 
 let name_of t pid = Option.map snd (Hashtbl.find_opt t.spawns pid)
@@ -92,6 +111,7 @@ let parent_of t pid = Option.join (Option.map fst (Hashtbl.find_opt t.spawns pid
 let spawned t = t.spawn_order
 let exits_of t pid = Option.value ~default:[] (Hashtbl.find_opt t.exits pid)
 let sync_wins t = t.sync_wins
+let sync_wins_epochs t = t.sync_wins_epochs
 let sync_lates t = t.sync_lates
 let absorbs t = t.absorbs
 let accepts t = t.accepts
@@ -100,6 +120,10 @@ let kills t = t.kills
 let sent t = t.sent
 let injections t = t.injections
 let degradations t = t.degradations
+let site_crashes t = t.site_crashes
+let partitions t = t.partitions
+let heals t = t.heals
+let recoveries t = t.recoveries
 let faulted t = t.injections <> []
 
 let count_sent_tag t ~tag =

@@ -40,6 +40,11 @@ val exits_of : t -> Pid.t -> string list
 val sync_wins : t -> (Pid.t * int) list
 (** [(pid, alternative index)] of every [Sync_won] event, in order. *)
 
+val sync_wins_epochs : t -> (Pid.t * int * int) list
+(** [(pid, alternative index, epoch)] of every [Sync_won] event, in order.
+    Epoch 0 is an unsupervised block; >= 1 an incarnation under coordinator
+    recovery ({!Concurrent.run_supervised}). *)
+
 val sync_lates : t -> (Pid.t * int) list
 val absorbs : t -> (Pid.t * Pid.t) list
 (** [(parent, child)] of every [Absorbed] event. *)
@@ -66,6 +71,18 @@ val injections : t -> (string * Pid.t option * Message.t option) list
 val degradations : t -> (Pid.t * string) list
 (** [(parent, reason)] of every [Degraded] event (alt-block fell back to
     sequential execution). *)
+
+val site_crashes : t -> string list
+(** Sites that crashed ([Site_crashed] events), in order. *)
+
+val partitions : t -> (string list * string list) list
+(** [(left, right)] of every [Partitioned] event, in order. *)
+
+val heals : t -> (string list * string list) list
+
+val recoveries : t -> (Pid.t * Pid.t * int) list
+(** [(failed coordinator, successor, new epoch)] of every [Recovered]
+    event, in order. *)
 
 val faulted : t -> bool
 (** At least one injection took effect. Checkers use this to decide whether

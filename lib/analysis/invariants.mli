@@ -60,6 +60,18 @@ val run_scenario :
     the transparency checker's sequential reference runs are always
     fault-free. *)
 
+val sequential_reference :
+  scenario ->
+  seed:int ->
+  indices:int list ->
+  int Alt_block.outcome option * Address_space.t * Source.t option
+(** Execute the scenario's alternatives whose indices appear in [indices]
+    {e sequentially} (first-fit, {!Alt_block.run_first}) in a fresh,
+    fault-free engine, and return the outcome together with the resulting
+    address space and source device. This is the oracle the transparency
+    checkers compare a concurrent execution against; {!Sitefuzz} reuses it
+    for supervised (coordinator-recovery) runs. *)
+
 val check_at_most_once : run -> Report.violation list
 val check_transparency : run -> Report.violation list
 val check_world : run -> Report.violation list

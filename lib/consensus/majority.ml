@@ -2,7 +2,9 @@ type t = {
   engine : Engine.t;
   pids : Pid.t list;
   n : int;
-  grants : Pid.t option ref array;  (* per-voter grant record (live voters) *)
+  grants : (Pid.t * int) option ref array;
+      (* per-voter grant record: owner pid and the epoch it was granted at *)
+  floors : int ref array;  (* per-voter minimum acceptable epoch *)
   msg_count : int ref;
 }
 
@@ -34,29 +36,62 @@ let rep_granted m =
   | Payload.Pair (Payload.Bool b, _) -> b
   | _ -> false
 
+(* Epoch-0 requests keep the original one-field payload so that executions
+   that never use coordinator recovery stay byte-identical to earlier
+   releases; an incarnation epoch >= 1 rides in a second field. *)
+let req_payload ~round ~epoch =
+  if epoch = 0 then Payload.Int round
+  else Payload.Pair (Payload.Int round, Payload.Int epoch)
+
+let req_parts = function
+  | Payload.Int round when round >= 0 -> Some (round, 0)
+  | Payload.Pair (Payload.Int round, Payload.Int epoch)
+    when round >= 0 && epoch >= 0 ->
+    Some (round, epoch)
+  | _ -> None
+
 (* A voter grants its vote to the first requester it hears from and denies
    everyone else, forever: the grant is the durable half of the 0-1
    semaphore. Voters are oblivious kernel services (their receives bypass
    predicate matching): synchronisation is what resolves speculation, so it
-   cannot itself be speculative. *)
-let voter_body ~vote_delay ~grant_slot ~msg_count ctx =
+   cannot itself be speculative.
+
+   Epoch fencing (coordinator recovery): each voter keeps a floor, the
+   lowest incarnation epoch it still serves. A request below the floor is
+   denied outright — a stale incarnation cannot win after the watchdog has
+   fenced it off — and a grant held at a below-floor epoch no longer counts
+   as taken: the fenced incarnation's claim is void, so the slot is
+   reassignable to the current incarnation. *)
+let voter_body ~vote_delay ~grant_slot ~floor ~msg_count ctx =
   let rec loop () =
     let m = Engine.receive ctx ~tag:tag_req () in
     incr msg_count;
-    (match m.Message.payload with
-    | Payload.Int round when round >= 0 ->
+    (match req_parts m.Message.payload with
+    | Some (round, epoch) ->
       if vote_delay > 0. then Engine.delay ctx vote_delay;
       let requester = m.Message.sender in
+      if epoch > !floor then floor := epoch;
       let granted =
-        match !grant_slot with
-        | None ->
-          grant_slot := Some requester;
-          true
-        | Some owner -> Pid.equal owner requester
+        if epoch < !floor then false
+        else begin
+          match !grant_slot with
+          | None ->
+            grant_slot := Some (requester, epoch);
+            true
+          | Some (_owner, owner_epoch) when owner_epoch < !floor ->
+            (* The grant belongs to a fenced-off incarnation: void. *)
+            grant_slot := Some (requester, epoch);
+            true
+          | Some (owner, owner_epoch) ->
+            let same = Pid.equal owner requester in
+            if same && epoch > owner_epoch then
+              grant_slot := Some (owner, epoch);
+            same
+        end
       in
       Engine.send ctx ~tag:tag_rep requester (rep_payload ~granted ~round);
       incr msg_count
-    | _ ->
+    | None ->
       (* Malformed request: ignore it, mirroring [rep_round]'s [-1] on the
          requester side. The vote is NOT granted — a garbled message must
          not consume the durable half of the 0-1 semaphore. *)
@@ -73,29 +108,42 @@ let crashed_voter_body ctx =
   in
   loop ()
 
-let create engine ~nodes ?(crashed = []) ?(vote_delay = 0.) () =
+let create engine ~nodes ?(crashed = []) ?(vote_delay = 0.) ?(sites = []) () =
   if nodes < 1 then invalid_arg "Majority.create: nodes must be >= 1";
   let msg_count = ref 0 in
   let grants = Array.init nodes (fun _ -> ref None) in
+  let floors = Array.init nodes (fun _ -> ref 0) in
+  let site_arr = Array.of_list sites in
+  let site_of i =
+    (* Round-robin spread so a crash of any one site takes out as few
+       voters as possible (a minority, whenever nodes > |sites| >= 2). *)
+    if Array.length site_arr = 0 then None
+    else Some site_arr.(i mod Array.length site_arr)
+  in
   let pids =
     List.init nodes (fun i ->
         if List.mem i crashed then
           Engine.spawn engine ~oblivious:true ~cloneable:false
-            ~name:(Printf.sprintf "voter%d(crashed)" i) crashed_voter_body
+            ~name:(Printf.sprintf "voter%d(crashed)" i) ?site:(site_of i)
+            crashed_voter_body
         else
           Engine.spawn engine ~oblivious:true ~cloneable:false
-            ~name:(Printf.sprintf "voter%d" i)
-            (voter_body ~vote_delay ~grant_slot:grants.(i) ~msg_count))
+            ~name:(Printf.sprintf "voter%d" i) ?site:(site_of i)
+            (voter_body ~vote_delay ~grant_slot:grants.(i) ~floor:floors.(i)
+               ~msg_count))
   in
-  { engine; pids; n = nodes; grants; msg_count }
+  { engine; pids; n = nodes; grants; floors; msg_count }
 
 let node_pids t = t.pids
 let nodes t = t.n
 let majority t = (t.n / 2) + 1
 
+let fence t ~epoch =
+  Array.iter (fun floor -> if epoch > !floor then floor := epoch) t.floors
+
 type verdict = Granted | Denied | No_quorum
 
-let acquire_verdict ctx t ~reply_timeout =
+let acquire_verdict_epoch ctx t ~epoch ~reply_timeout =
   let round = Int64.to_int (Engine.random_bits ctx) land max_int in
   (* Drain replies a previous, timed-out round left in the mailbox. They
      are from an older round by construction, but consuming them now also
@@ -107,7 +155,7 @@ let acquire_verdict ctx t ~reply_timeout =
   in
   drain ();
   List.iter
-    (fun voter -> Engine.send ctx ~tag:tag_req voter (Payload.Int round))
+    (fun voter -> Engine.send ctx ~tag:tag_req voter (req_payload ~round ~epoch))
     t.pids;
   let need = majority t in
   let replied = Hashtbl.create (2 * t.n) in
@@ -142,12 +190,15 @@ let acquire_verdict ctx t ~reply_timeout =
   in
   collect ~grants:0 ~replies:0
 
-let acquire ctx t ~reply_timeout =
-  acquire_verdict ctx t ~reply_timeout = Granted
+let acquire_verdict ctx t ~reply_timeout =
+  acquire_verdict_epoch ctx t ~epoch:0 ~reply_timeout
 
-let acquire_retry ctx t ~reply_timeout ?(retries = 0) ?(backoff = 0.01) () =
+let acquire ctx t ~reply_timeout = acquire_verdict ctx t ~reply_timeout = Granted
+
+let acquire_retry ctx t ?(epoch = 0) ~reply_timeout ?(retries = 0)
+    ?(backoff = 0.01) () =
   let rec go k =
-    match acquire_verdict ctx t ~reply_timeout with
+    match acquire_verdict_epoch ctx t ~epoch ~reply_timeout with
     | No_quorum when k < retries ->
       (* Deterministic exponential backoff in virtual time: delay, then
          run a fresh round (fresh round id, so leftovers of this one are
@@ -164,7 +215,7 @@ let owner t =
     (fun slot ->
       match !slot with
       | None -> ()
-      | Some p ->
+      | Some (p, _) ->
         let c = Option.value ~default:0 (Hashtbl.find_opt tally p) in
         Hashtbl.replace tally p (c + 1))
     t.grants;

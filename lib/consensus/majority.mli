@@ -17,12 +17,16 @@ val create :
   nodes:int ->
   ?crashed:int list ->
   ?vote_delay:float ->
+  ?sites:string list ->
   unit ->
   t
 (** Spawn [nodes] voter processes. Voters whose index (0-based) appears in
     [crashed] are spawned dead: they receive requests and never answer.
     [vote_delay] (default 0) is per-vote processing time at each live
-    voter. Raises [Invalid_argument] if [nodes < 1]. *)
+    voter. [sites] (default none) spreads the voters round-robin across the
+    given site names via {!Engine.spawn}'s [?site], so that no single site
+    hosts a majority whenever [nodes > length sites >= 2]. Raises
+    [Invalid_argument] if [nodes < 1]. *)
 
 val node_pids : t -> Pid.t list
 val nodes : t -> int
@@ -51,7 +55,18 @@ val acquire_verdict : Engine.ctx -> t -> reply_timeout:float -> verdict
     (duplicates, e.g. injected ones, are ignored). An acquisition that
     ended [No_quorum] is therefore safe to retry — stale grants cannot
     be double-counted into a majority (after the abortable-mutex
-    discipline of Jayanti & Jayanti 2018). *)
+    discipline of Jayanti & Jayanti 2018). Equivalent to
+    {!acquire_verdict_epoch} at epoch 0. *)
+
+val acquire_verdict_epoch :
+  Engine.ctx -> t -> epoch:int -> reply_timeout:float -> verdict
+(** {!acquire_verdict} on behalf of block incarnation [epoch] (coordinator
+    recovery). Epoch 0 sends the original one-field request payload
+    (executions without recovery are byte-identical to before); epoch
+    [e >= 1] rides in the payload and is checked against each voter's
+    {e floor}: a request below the floor is denied, a request above it
+    raises it, and a grant held at a below-floor epoch is void — the slot
+    is reassignable to the current incarnation. See {!fence}. *)
 
 val acquire : Engine.ctx -> t -> reply_timeout:float -> bool
 (** [acquire_verdict ... = Granted]. *)
@@ -59,6 +74,7 @@ val acquire : Engine.ctx -> t -> reply_timeout:float -> bool
 val acquire_retry :
   Engine.ctx ->
   t ->
+  ?epoch:int ->
   reply_timeout:float ->
   ?retries:int ->
   ?backoff:float ->
@@ -76,6 +92,16 @@ val owner : t -> Pid.t option
 (** The requester that a majority of voters granted, if decided and
     observable from the voters' grant records (test helper; the protocol
     itself only uses messages). *)
+
+val fence : t -> epoch:int -> unit
+(** Raise every voter's epoch floor to at least [epoch]: requests from
+    incarnations below it are denied from now on, and their existing
+    grants become void (reassignable). The coordinator watchdog calls this
+    before restarting a block, so the dead incarnation's orphans can
+    neither win late nor block the successor. Floors only ever rise;
+    fencing to a lower epoch than the current floor is a no-op. This
+    touches voter state directly (a simulator shortcut for an
+    acknowledged fencing round; deterministic either way). *)
 
 val shutdown : t -> unit
 (** Kill the voter processes (end of the alternative block). *)

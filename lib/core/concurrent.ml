@@ -114,11 +114,15 @@ let child_predicate parent_pred pids i =
   in
   add p 0
 
-let run ctx ?(policy = default_policy) alts =
+let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0) alts =
   let eng = Engine.engine ctx in
   let model = Engine.model eng in
   let n = List.length alts in
   if n = 0 then invalid_arg "Concurrent.run: empty block";
+  (match (borrowed, policy.sync) with
+  | Some _, Local ->
+    invalid_arg "Concurrent.run: ?consensus requires a Consensus sync policy"
+  | _ -> ());
   let t0 = Engine.now_v ctx in
   let parent_pid = Engine.self ctx in
   let parent_pred = Engine.my_predicate ctx in
@@ -164,11 +168,18 @@ let run ctx ?(policy = default_policy) alts =
     }
   else begin
     let pids = Array.of_list (Engine.fresh_pids eng n) in
-    let consensus =
-      match policy.sync with
-      | Local -> None
-      | Consensus { nodes; crashed; vote_delay; _ } ->
+    (* A borrowed consensus group (coordinator recovery) outlives this
+       incarnation: its durable grants are exactly what makes the
+       at-most-once decision survive a coordinator restart, so the block
+       must neither create nor shut it down. *)
+    let owned_consensus =
+      match (policy.sync, borrowed) with
+      | Local, _ | Consensus _, Some _ -> None
+      | Consensus { nodes; crashed; vote_delay; _ }, None ->
         Some (Majority.create eng ~nodes ~crashed ~vote_delay ())
+    in
+    let consensus =
+      match borrowed with Some m -> Some m | None -> owned_consensus
     in
     (* Setup: one execution environment per open alternative. Local
        placement duplicates the page map copy-on-write; remote placement
@@ -288,7 +299,7 @@ let run ctx ?(policy = default_policy) alts =
                   | Local -> assert false
                 in
                 (match
-                   Majority.acquire_retry child_ctx maj ~reply_timeout
+                   Majority.acquire_retry child_ctx maj ~epoch ~reply_timeout
                      ~retries:policy.sync_retries ~backoff:policy.sync_backoff
                      ()
                  with
@@ -300,7 +311,7 @@ let run ctx ?(policy = default_policy) alts =
                 | Majority.No_quorum -> `No_quorum)
             in
             match verdict with
-            | `Won -> tr (Trace.Sync_won { pid = me; index = i })
+            | `Won -> tr (Trace.Sync_won { pid = me; index = i; epoch })
             | `Late ->
               tr (Trace.Sync_late { pid = me; index = i });
               Engine.abort child_ctx "too late"
@@ -444,7 +455,7 @@ let run ctx ?(policy = default_policy) alts =
         eliminate ~except:None ~reason:"alt_wait timeout";
         (Alt_block.Block_failed "timeout", None)
     in
-    Option.iter Majority.shutdown consensus;
+    Option.iter Majority.shutdown owned_consensus;
     (* Release loser address spaces that were never started or whose owner
        is already gone (live losers release at their own elimination). *)
     Array.iteri
@@ -486,6 +497,154 @@ let run ctx ?(policy = default_policy) alts =
       degraded = !degraded;
     }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator recovery: a supervised block survives the death of its
+   own coordinator (parent), the paper's remaining single point of
+   failure once the latch is majority-consensus.
+
+   The watchdog checkpoints the parent's sink state once, at block entry
+   (alt_spawn); voters are spread across sites and OUTLIVE any one
+   incarnation, so their durable grants carry the at-most-once decision
+   across restarts. When an incarnation dies undecided, the watchdog
+   reaps its orphaned alternatives, fences the voters to the next epoch
+   (a stale orphan's in-flight acquire is denied; a grant it already held
+   becomes void), restores the checkpoint on a surviving site, and
+   launches the next incarnation there. *)
+
+type 'a supervised_report = {
+  sr_report : 'a report;
+  sr_incarnations : int;
+  sr_recoveries : (Pid.t * Pid.t * int) list;
+  sr_epoch : int;
+  sr_coordinator : Pid.t option;
+  sr_site : string option;
+  sr_space : Address_space.t option;
+}
+
+let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
+    ~sites alts =
+  let consensus =
+    match policy.sync with
+    | Local ->
+      invalid_arg "Concurrent.run_supervised: requires a Consensus sync policy"
+    | Consensus { nodes; crashed; vote_delay; _ } ->
+      Majority.create eng ~nodes ~crashed ~vote_delay ~sites:(Sites.names sites)
+        ()
+  in
+  let model = Engine.model eng in
+  let t0 = Engine.now eng in
+  let image = Option.map Checkpoint.capture space in
+  let tr e = Trace.record (Engine.trace eng) ~time:(Engine.now eng) e in
+  let result = ref None in
+  let incarnations = ref 0 in
+  let recoveries = ref [] in
+  let coordinators = ref [] in  (* (pid, its space, space is ours) newest first *)
+  let pick_site epoch =
+    match Sites.alive_sites sites with
+    | [] -> None
+    | alive -> Some (List.nth alive ((epoch - 1) mod List.length alive))
+  in
+  let rec launch ~epoch ~site ~space_now ~ours ~start_delay =
+    incr incarnations;
+    let pid =
+      Engine.spawn eng ?space:space_now ~cloneable:false
+        ~name:(Printf.sprintf "alt-parent.e%d" epoch)
+        ~site ~start_delay
+        (fun ctx -> result := Some (epoch, run ctx ~policy ~consensus ~epoch alts))
+    in
+    if Option.is_some space_now then Engine.preserve_space eng pid;
+    coordinators := (pid, space_now, ours) :: !coordinators;
+    Engine.on_exit eng pid (fun _st ->
+        if !result = None then begin
+          (* Died undecided. Reap the orphans first: an alternative must
+             not keep running (let alone commit) into a dead block. *)
+          List.iter
+            (fun c -> Engine.kill eng c ~reason:"orphaned alternative")
+            (Engine.children_of eng pid);
+          if !incarnations <= max_restarts then begin
+            let epoch' = epoch + 1 in
+            match pick_site epoch' with
+            | None -> () (* every site is down: nowhere to restart *)
+            | Some site' ->
+              Majority.fence consensus ~epoch:epoch';
+              if ours then Option.iter Address_space.release space_now;
+              let space' =
+                Option.map
+                  (fun img ->
+                    Checkpoint.restore (Engine.frame_store eng) model img)
+                  image
+              in
+              (* Restart cost: the checkpoint travels to the new site. *)
+              let start_delay =
+                match image with
+                | Some img -> Checkpoint.transfer_cost model img
+                | None -> model.Cost_model.remote_spawn_base
+              in
+              let pid' =
+                launch ~epoch:epoch' ~site:site' ~space_now:space'
+                  ~ours:(Option.is_some space') ~start_delay
+              in
+              recoveries := (pid, pid', epoch') :: !recoveries;
+              tr (Trace.Recovered { failed = pid; successor = pid'; epoch = epoch' })
+          end
+        end);
+    pid
+  in
+  (match pick_site 1 with
+  | None -> invalid_arg "Concurrent.run_supervised: no alive site"
+  | Some site ->
+    ignore (launch ~epoch:1 ~site ~space_now:space ~ours:false ~start_delay:0.));
+  Engine.run eng;
+  Majority.shutdown consensus;
+  let final_pid, final_space =
+    match !coordinators with
+    | (pid, sp, _) :: _ -> (Some pid, sp)
+    | [] -> (None, None)
+  in
+  let all_children =
+    List.concat_map
+      (fun (pid, _, _) -> Engine.children_of eng pid)
+      (List.rev !coordinators)
+  in
+  let wasted_of winner =
+    List.fold_left
+      (fun acc c ->
+        if Option.equal Pid.equal (Some c) winner then acc
+        else acc +. Engine.cpu_time_of eng c)
+      0. all_children
+  in
+  let sr_epoch, sr_report =
+    match !result with
+    | Some (epoch, r) -> (epoch, { r with wasted_cpu = wasted_of r.winner })
+    | None ->
+      (* No incarnation lived to decide: report the outage honestly (no
+         phantom winner, no fabricated costs). *)
+      ( !incarnations,
+        {
+          outcome = Alt_block.Block_failed "coordinator lost";
+          winner = None;
+          children = all_children;
+          elapsed = Engine.now eng -. t0;
+          setup_cost = 0.;
+          spawned = List.length all_children;
+          selection_cost = 0.;
+          wasted_cpu = wasted_of None;
+          child_cow_copies = 0;
+          sync_messages = Majority.messages_sent consensus;
+          attempted = 0;
+          degraded = false;
+        } )
+  in
+  {
+    sr_report;
+    sr_incarnations = !incarnations;
+    sr_recoveries = List.rev !recoveries;
+    sr_epoch;
+    sr_coordinator = final_pid;
+    sr_site = Option.bind final_pid (Engine.site_of eng);
+    sr_space = final_space;
+  }
 
 let run_toplevel eng ?policy ?space alts =
   let result = ref None in

@@ -148,11 +148,26 @@ type 'a report = {
           parent, not by a speculative child. *)
 }
 
-val run : Engine.ctx -> ?policy:policy -> 'a Alternative.t list -> 'a report
+val run :
+  Engine.ctx ->
+  ?policy:policy ->
+  ?consensus:Majority.t ->
+  ?epoch:int ->
+  'a Alternative.t list ->
+  'a report
 (** Execute the block from inside a process. The calling process blocks (as
     the paper's parent does in [alt_wait]) until a winner commits, all
     alternatives fail, or the timeout expires; its address space, if any,
-    ends up identical to a sequential execution of the winner alone. *)
+    ends up identical to a sequential execution of the winner alone.
+
+    [consensus] lends the block an existing voter group instead of creating
+    (and shutting down) its own — the coordinator-recovery watchdog uses
+    this so the durable grants survive a coordinator restart; requires a
+    [Consensus] sync policy ([Invalid_argument] otherwise), whose [nodes],
+    [crashed] and [vote_delay] fields are then ignored in favour of the
+    lent group. [epoch] (default 0) stamps this incarnation's consensus
+    requests and its {!Trace.Sync_won} event; leave it at 0 for
+    unsupervised blocks (byte-identical wire format to earlier releases). *)
 
 val run_toplevel :
   Engine.t ->
@@ -166,3 +181,55 @@ val run_toplevel :
     released at process exit, so the absorbed state can be inspected), and
     [wasted_cpu] is recounted at quiescence so that zombies eliminated
     asynchronously are fully accounted. *)
+
+(** {2 Coordinator recovery}
+
+    {!run_toplevel} leaves one single point of failure: the coordinator
+    (parent) process itself. {!run_supervised} removes it — a watchdog
+    checkpoints the parent's sink state at block entry, spreads the
+    consensus voters across sites, and when an incarnation dies without
+    deciding (killed, crashed, or its whole site lost), it reaps the
+    orphaned alternatives, {e fences} the voters to the next epoch
+    ({!Majority.fence}: the dead incarnation's in-flight acquisitions are
+    denied and any grant it held becomes void), restores the checkpoint on
+    a surviving site, and relaunches the block there. The durable voter
+    grants carry the at-most-once decision across restarts: one winner per
+    block, epoch-wide. *)
+
+(** The aggregate outcome of a supervised block. *)
+type 'a supervised_report = {
+  sr_report : 'a report;
+      (** The deciding incarnation's report ([wasted_cpu] recounted over
+          the children of {e all} incarnations), or a fabricated
+          [Block_failed "coordinator lost"] when every incarnation died. *)
+  sr_incarnations : int;  (** Coordinators launched (>= 1). *)
+  sr_recoveries : (Pid.t * Pid.t * int) list;
+      (** Each recovery as [(failed, successor, new_epoch)], oldest
+          first; also traced as {!Trace.Recovered}. *)
+  sr_epoch : int;  (** Epoch of the incarnation behind [sr_report]. *)
+  sr_coordinator : Pid.t option;  (** The final incarnation's pid. *)
+  sr_site : string option;  (** ... and the site it ran on. *)
+  sr_space : Address_space.t option;
+      (** The address space holding the block's final sink state: the
+          caller's own space if no recovery happened, otherwise the
+          checkpoint-restored space of the last incarnation. *)
+}
+
+val run_supervised :
+  Engine.t ->
+  ?policy:policy ->
+  ?space:Address_space.t ->
+  ?max_restarts:int ->
+  sites:Sites.t ->
+  'a Alternative.t list ->
+  'a supervised_report
+(** Run the block under the watchdog, to quiescence. Requires a
+    [Consensus] sync policy ([Invalid_argument] otherwise); voters are
+    spread round-robin over [sites]' names via {!Majority.create}'s
+    [?sites]. Incarnation [e] (epoch [e], process name ["alt-parent.e<e>"])
+    is placed on the [(e-1) mod n]-th currently-alive site, so a restart
+    lands away from the site that just failed; the restart is charged the
+    checkpoint's transfer cost as its start delay. At most [max_restarts]
+    (default 2) recoveries are attempted; if every incarnation dies (or no
+    site survives), the result reports [Block_failed "coordinator lost"] —
+    honestly, never a phantom winner. *)

@@ -13,7 +13,17 @@ type proc_fault = Kill | Crash of float (* revive delay; infinity = never *)
 
 type proc_rule = { fault : proc_fault; target : string; nth : int; after : float }
 
-type rule = Message of msg_rule | Process of proc_rule
+type site_rule =
+  | Crash_site of { site : string; at : float; jitter : float }
+  | Partition_sites of {
+      left : string list;
+      right : string list;
+      at : float;
+      jitter : float;
+      heal_after : float option;
+    }
+
+type rule = Message of msg_rule | Process of proc_rule | Site of site_rule
 
 let message ?(p = 1.0) ?tag ?sender ?dest ?(window = (0., infinity)) action =
   if not (p >= 0. && p <= 1.) then invalid_arg "Faultplan.message: p not in [0,1]";
@@ -27,6 +37,21 @@ let kill_process ?(nth = 0) ?(after = 0.) target =
 let crash_process ?(nth = 0) ?(after = 0.) ?(revive_after = infinity) target =
   Process { fault = Crash revive_after; target; nth; after }
 
+let check_jitter ~fn jitter =
+  if jitter < 0. then invalid_arg ("Faultplan." ^ fn ^ ": negative jitter")
+
+let crash_site ?(at = 0.) ?(jitter = 0.) site =
+  check_jitter ~fn:"crash_site" jitter;
+  Site (Crash_site { site; at; jitter })
+
+let partition_sites ?(at = 0.) ?(jitter = 0.) ?heal_after left right =
+  check_jitter ~fn:"partition_sites" jitter;
+  (match heal_after with
+  | Some h when h < 0. ->
+    invalid_arg "Faultplan.partition_sites: negative heal_after"
+  | _ -> ());
+  Site (Partition_sites { left; right; at; jitter; heal_after })
+
 type t = { seed : int; rules : rule list }
 
 let make ?(seed = 0) rules = { seed; rules }
@@ -39,14 +64,27 @@ let contains ~sub s =
     let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
     at 0
 
-let install plan eng =
+let install ?sites plan eng =
   let rng = Rng.create ~seed:plan.seed in
   let msg_rules =
-    List.filter_map (function Message r -> Some r | Process _ -> None) plan.rules
+    List.filter_map
+      (function Message r -> Some r | Process _ | Site _ -> None)
+      plan.rules
   in
   let proc_rules =
-    List.filter_map (function Process r -> Some r | Message _ -> None) plan.rules
+    List.filter_map
+      (function Process r -> Some r | Message _ | Site _ -> None)
+      plan.rules
   in
+  let site_rules =
+    List.filter_map
+      (function Site r -> Some r | Message _ | Process _ -> None)
+      plan.rules
+  in
+  (match (sites, site_rules) with
+  | None, _ :: _ ->
+    invalid_arg "Faultplan.install: plan has site rules but no ~sites topology"
+  | _ -> ());
   (* Per-rule match counters for [nth] selection. *)
   let proc_seen = Array.make (List.length proc_rules) 0 in
   (* Crashed ("silenced") pids: their traffic is black-holed. *)
@@ -112,5 +150,30 @@ let install plan eng =
         end)
       proc_rules
   in
+  (* Site faults are scheduled up front, in rule order: each rule draws its
+     jitter from the plan stream exactly once at install time, so the fault
+     schedule is a pure function of the plan seed no matter what the
+     execution does in between. *)
+  (match sites with
+  | None -> ()
+  | Some topo ->
+    List.iter
+      (fun r ->
+        let fire_at at jitter =
+          at +. if jitter > 0. then Rng.float rng jitter else 0.
+        in
+        match r with
+        | Crash_site { site; at; jitter } ->
+          Engine.after eng ~delay:(fire_at at jitter) (fun () ->
+              Sites.crash topo site)
+        | Partition_sites { left; right; at; jitter; heal_after } ->
+          Engine.after eng ~delay:(fire_at at jitter) (fun () ->
+              Sites.partition topo ~left ~right;
+              match heal_after with
+              | None -> ()
+              | Some h ->
+                Engine.after eng ~delay:h (fun () ->
+                    Sites.heal topo ~left ~right)))
+      site_rules);
   Engine.set_message_fault eng (Some on_message);
   Engine.set_spawn_hook eng (Some on_spawn)

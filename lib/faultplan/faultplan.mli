@@ -61,6 +61,28 @@ val crash_process : ?nth:int -> ?after:float -> ?revive_after:float -> string ->
     outage, exactly the durability the majority-consensus protocol relies
     on. *)
 
+val crash_site : ?at:float -> ?jitter:float -> string -> rule
+(** Crash the named site at virtual time [at + u] where [u] is drawn
+    uniformly from [[0, jitter)] (default both 0) from the plan's stream at
+    install time. Every process then resident on the site is killed
+    ({!Sites.crash}) and messages to or from the site's residents are
+    dropped from then on. Requires [install ~sites]. Raises
+    [Invalid_argument] on negative [jitter]. *)
+
+val partition_sites :
+  ?at:float ->
+  ?jitter:float ->
+  ?heal_after:float ->
+  string list ->
+  string list ->
+  rule
+(** [partition_sites left right] cuts every link between a site in [left]
+    and a site in [right] at time [at + u], [u] uniform in [[0, jitter)]
+    (messages crossing the cut are dropped at delivery time, so in-flight
+    traffic is lost too). With [heal_after] the same cut is healed that many
+    seconds after it was made. Requires [install ~sites]. Raises
+    [Invalid_argument] on negative [jitter] or [heal_after]. *)
+
 type t
 
 val make : ?seed:int -> rule list -> t
@@ -69,6 +91,10 @@ val make : ?seed:int -> rule list -> t
 val none : t
 (** The empty plan: installs hooks that deliver everything untouched. *)
 
-val install : t -> Engine.t -> unit
+val install : ?sites:Sites.t -> t -> Engine.t -> unit
 (** Compile the plan onto the engine. Must be called before the engine
-    runs; installing a second plan replaces the first. *)
+    runs; installing a second plan replaces the first. Site rules
+    ({!crash_site}, {!partition_sites}) are scheduled against [sites] —
+    their jitter draws happen here, in rule order, so the fault schedule
+    is fixed by the plan seed alone. Raises [Invalid_argument] if the plan
+    contains site rules and [sites] is not given. *)

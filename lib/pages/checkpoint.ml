@@ -59,9 +59,21 @@ let of_bytes b =
   let int_at off = Int64.to_int (Bytes.get_int64_le b off) in
   let psize = int_at 0 in
   let count = int_at 8 in
+  (* Field-by-field bounds, overflow-safe: [psize] and [count] come off the
+     wire, so [count * (per_page_header + psize)] may wrap around and
+     accidentally equal [len]. Any page at all means [psize] must fit in
+     the buffer; bounding [count] by the room actually left then keeps the
+     product below [len] — a truncated or oversized buffer fails here,
+     with this error, rather than as an out-of-range access deep inside
+     [Bytes]. An empty image ([count = 0], legal whatever its [psize])
+     multiplies by zero, which cannot wrap. *)
   if psize <= 0 || count < 0 then fail ();
-  let expected = header_bytes + (count * (per_page_header + psize)) in
-  if len <> expected then fail ();
+  if count > 0 then begin
+    if psize > len then fail ();
+    if count > (len - header_bytes) / (per_page_header + psize) then fail ()
+  end;
+  let per_page = per_page_header + psize in
+  if len <> header_bytes + (count * per_page) then fail ();
   let pages = ref [] in
   let off = ref header_bytes in
   let seen = Hashtbl.create (max 16 count) in
@@ -72,12 +84,9 @@ let of_bytes b =
        silently. *)
     if vpage < 0 || Hashtbl.mem seen vpage then fail ();
     Hashtbl.replace seen vpage ();
-    (* A negative page number or a repeated entry cannot come from
-       [to_bytes]; restoring such an image would double-write pages
-       silently. *)
     let contents = Bytes.sub b (!off + per_page_header) psize in
     pages := (vpage, contents) :: !pages;
-    off := !off + per_page_header + psize
+    off := !off + per_page
   done;
   { psize; pages = List.rev !pages }
 

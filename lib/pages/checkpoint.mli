@@ -31,8 +31,11 @@ val to_bytes : image -> bytes
     implementation). *)
 
 val of_bytes : bytes -> image
-(** Inverse of {!to_bytes}. Raises [Invalid_argument] on malformed data:
-    bad framing, a negative page number, or a duplicated page entry
+(** Inverse of {!to_bytes}. Raises [Invalid_argument] with a
+    ["Checkpoint.of_bytes"] message on malformed data: a truncated or
+    oversized buffer, nonsensical header fields (the size arithmetic is
+    overflow-safe, so no wire value can smuggle an out-of-range access
+    into [Bytes]), a negative page number, or a duplicated page entry
     (restoring a duplicate would double-write the page silently). *)
 
 val transfer_cost : Cost_model.t -> image -> float

@@ -57,6 +57,7 @@ type pcb = {
   mutable res_watchers : ([ `Certain | `Dead ] -> unit) list;
   mutable preserve_space : bool;
   oblivious : bool;
+  mutable site : string option;
 }
 
 and ctx = { engine : t; pcb : pcb }
@@ -96,6 +97,14 @@ and t = {
   mutable sweep_again : bool;
   mutable msg_fault : (Message.t -> fault_action) option;
   mutable spawn_hook : (Pid.t -> string -> unit) option;
+  mutable site_hook :
+    (pid:Pid.t ->
+    parent:Pid.t option ->
+    name:string ->
+    explicit:string option ->
+    string option)
+    option;
+  mutable delivery_fault : (Message.t -> dest:Pid.t -> bool) option;
 }
 
 type _ Effect.t +=
@@ -135,10 +144,14 @@ let create ?(cores = Infinite) ?(model = Cost_model.uniform ()) ?(seed = 42)
     sweep_again = false;
     msg_fault = None;
     spawn_hook = None;
+    site_hook = None;
+    delivery_fault = None;
   }
 
 let set_message_fault t f = t.msg_fault <- f
 let set_spawn_hook t f = t.spawn_hook <- f
+let set_site_hook t f = t.site_hook <- f
+let set_delivery_fault t f = t.delivery_fault <- f
 
 let now t = t.vnow
 let model t = t.model_
@@ -522,6 +535,9 @@ and accept_with_split t pcb m s =
       List.filter (fun m' -> not (m' == m)) pcb.mailbox;
     register_world t clone;
     t.live <- t.live + 1;
+    (* World copies live wherever the original does: a site crash must take
+       every copy of a resident process down with it. *)
+    assign_site t clone ~explicit:pcb.site;
     tr t (Trace.Split { original = pcb.pid; clone = clone_pid; on = m });
     (match t.spawn_hook with Some h -> h clone_pid clone.name | None -> ());
     (* Charge the copy as a fork-base-cost start delay for the clone. *)
@@ -584,10 +600,17 @@ and make_pcb t ~pid ~logical ~parent ~name ~predicate ~space ~cloneable
       res_watchers = [];
       preserve_space = false;
       oblivious;
+      site = None;
     }
   in
   Hashtbl.replace t.procs pid pcb;
   pcb
+
+and assign_site t pcb ~explicit =
+  pcb.site <-
+    (match t.site_hook with
+    | Some h -> h ~pid:pcb.pid ~parent:pcb.parent ~name:pcb.name ~explicit
+    | None -> explicit)
 
 and register_world t pcb =
   match Hashtbl.find_opt t.worlds pcb.logical with
@@ -763,6 +786,11 @@ and run_body t pcb =
                     | Some m ->
                       log_push pcb (L_recv_opt (Some m));
                       Effect.Deep.continue k (Some m)
+                    | None when timeout <= 0. ->
+                      (* Poll-only: nothing acceptable is queued right now,
+                         report that immediately without parking. *)
+                      log_push pcb (L_recv_opt None);
+                      Effect.Deep.continue k None
                     | None ->
                       let armed = ref true in
                       let timeout_ev = ref None in
@@ -895,9 +923,17 @@ and deliver t msg =
     (fun pid ->
       match find_pcb t pid with
       | Some pcb when is_alive pcb ->
-        pcb.mailbox <- pcb.mailbox @ [ msg ];
-        tr t (Trace.Delivered { dest = pid; msg });
-        rescan_parked t pcb
+        let deliverable =
+          (* Checked at delivery time, per destination copy: a site crash or
+             partition that comes up while the message is in flight still
+             loses it. The hook records its own trace events. *)
+          match t.delivery_fault with None -> true | Some f -> f msg ~dest:pid
+        in
+        if deliverable then begin
+          pcb.mailbox <- pcb.mailbox @ [ msg ];
+          tr t (Trace.Delivered { dest = pid; msg });
+          rescan_parked t pcb
+        end
       | _ -> ())
     copies
 
@@ -908,7 +944,7 @@ let fresh_pids t n = List.init n (fun _ -> Pid.Allocator.fresh t.alloc)
 
 let spawn t ?pid ?parent ?(predicate = Predicate.empty) ?space
     ?(cloneable = true) ?(oblivious = false) ?(start_delay = 0.)
-    ?(name = "proc") body =
+    ?(name = "proc") ?site body =
   let pid = match pid with Some p -> p | None -> Pid.Allocator.fresh t.alloc in
   (match parent with
   | Some pp -> Option.iter disable_cloning (find_pcb t pp)
@@ -919,6 +955,7 @@ let spawn t ?pid ?parent ?(predicate = Predicate.empty) ?space
   in
   register_world t pcb;
   t.live <- t.live + 1;
+  assign_site t pcb ~explicit:site;
   tr t (Trace.Spawned { pid; parent; name });
   (match t.spawn_hook with Some h -> h pid name | None -> ());
   schedule t ~at:(t.vnow +. start_delay) (fun () -> start_pcb t pcb);
@@ -1003,6 +1040,16 @@ let total_cpu_time t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.cpu_used 0.
 let logical_of t pid = Option.map (fun p -> p.logical) (find_pcb t pid)
 let space_of t pid = Option.bind (find_pcb t pid) (fun p -> p.space)
 let name_of t pid = Option.map (fun p -> p.name) (find_pcb t pid)
+let site_of t pid = Option.bind (find_pcb t pid) (fun p -> p.site)
+
+let children_of t pid =
+  Hashtbl.fold
+    (fun cpid pcb acc ->
+      match pcb.parent with
+      | Some p when Pid.equal p pid -> cpid :: acc
+      | _ -> acc)
+    t.procs []
+  |> List.sort Pid.compare
 
 let certain_of t pid =
   match Fate_registry.fate t.reg pid with
@@ -1062,6 +1109,9 @@ module Ivar = struct
     disable_cloning ctx.pcb;
     match iv.value with
     | Some v -> Some v
+    | None when timeout <= 0. ->
+      (* Poll-only: report the current state without parking. *)
+      None
     | None ->
       let eng = ctx.engine in
       Effect.perform

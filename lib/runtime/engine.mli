@@ -91,6 +91,7 @@ val spawn :
   ?oblivious:bool ->
   ?start_delay:float ->
   ?name:string ->
+  ?site:string ->
   (ctx -> unit) ->
   Pid.t
 (** Create a process. It becomes runnable [start_delay] (default 0) seconds
@@ -98,8 +99,11 @@ val spawn :
     world-splitting; it is disabled automatically if the process spawns or
     reads an ivar. [oblivious] (default false) marks a kernel-level service
     (consensus voter, device driver) whose receives bypass predicate
-    matching: it accepts every message and belongs to no world. The engine
-    does not run anything until {!run}. *)
+    matching: it accepts every message and belongs to no world. [site]
+    requests explicit placement on a simulated site; it is passed to the
+    site hook (see {!set_site_hook}) as the [explicit] argument, or adopted
+    directly when no hook is installed. The engine does not run anything
+    until {!run}. *)
 
 val on_exit : t -> Pid.t -> (exit_status -> unit) -> unit
 (** Register a watcher called (at the process's exit time) when the pid
@@ -170,7 +174,10 @@ val receive : ctx -> ?tag:string -> unit -> Message.t
 val receive_timeout : ctx -> ?tag:string -> timeout:float -> unit -> Message.t option
 (** Like {!receive} but gives up after [timeout] seconds of virtual time
     (needed by protocols that must survive silent peers, e.g. majority
-    consensus over crashed voters). *)
+    consensus over crashed voters). [timeout <= 0.] is a pure poll: it
+    returns immediately with an already-queued acceptable message if there
+    is one, [None] otherwise, never parking and never advancing virtual
+    time — well-defined for watchdog polling loops and reply-drains. *)
 
 val abort : ctx -> string -> 'a
 (** Terminate this process with [Exited_failed]. *)
@@ -202,7 +209,9 @@ module Ivar : sig
 
   val read_timeout : ctx -> 'a t -> timeout:float -> 'a option
   (** Like {!read} but gives up after [timeout] seconds of virtual time,
-      returning [None]. A fill arriving exactly at the deadline wins. *)
+      returning [None]. A fill arriving exactly at the deadline wins.
+      [timeout <= 0.] is a pure poll: the current contents (if any) are
+      returned immediately, without parking or advancing virtual time. *)
 end
 
 (** {2 Engine-level hooks} *)
@@ -251,6 +260,15 @@ val name_of : t -> Pid.t -> string option
 (** The name the pid was spawned with. Works after exit (post-mortem
     process table); [None] for unknown pids. *)
 
+val site_of : t -> Pid.t -> string option
+(** The site the pid was placed on (see {!set_site_hook}). Works after exit;
+    [None] for unknown pids or when no placement was made. *)
+
+val children_of : t -> Pid.t -> Pid.t list
+(** Every process ever spawned with [~parent:pid] (live or dead), sorted by
+    pid. The coordinator watchdog uses it to find orphaned alternatives of a
+    dead parent. *)
+
 (** {2 Fault injection}
 
     Hooks for the fault-plan layer ([lib/faultplan]). They sit below the
@@ -281,3 +299,34 @@ val set_spawn_hook : t -> (Pid.t -> string -> unit) option -> unit
 (** Install (or clear) a callback invoked at every process creation —
     {!spawn} and world-split clones alike — with the new pid and its name.
     The fault plan uses it to target processes by name pattern. *)
+
+(** {2 Sites}
+
+    Hooks for the site/topology layer ([lib/sites]). The engine itself knows
+    nothing about placement policy: it stores one optional site label per
+    process and defers every decision to the hooks. With no hooks installed
+    the engine behaves bit-for-bit as before. *)
+
+val set_site_hook :
+  t ->
+  (pid:Pid.t ->
+  parent:Pid.t option ->
+  name:string ->
+  explicit:string option ->
+  string option)
+  option ->
+  unit
+(** Install (or clear) the placement hook, consulted at every process
+    creation ({!spawn} and world-split clones alike). [explicit] is the
+    [?site] given to {!spawn} (for clones: the original's site — a world
+    copy must live, and die, with its original). The returned label becomes
+    the process's site ({!site_of}); the hook is also where the topology
+    layer records membership. *)
+
+val set_delivery_fault : t -> (Message.t -> dest:Pid.t -> bool) option -> unit
+(** Install (or clear) the delivery filter, consulted at {e delivery} time
+    once per destination copy: [false] silently discards the copy's
+    delivery. Unlike {!set_message_fault} (a send-time decision), this sees
+    faults that arise while the message is in flight — a site crash or
+    partition loses exactly the traffic that was crossing it. The filter is
+    expected to record its own {!Trace.Injected} events. *)

@@ -11,10 +11,14 @@ type event =
   | Fate of { pid : Pid.t; fate : Predicate.fate }
   | Fate_deferred of Pid.t
   | Absorbed of { parent : Pid.t; child : Pid.t }
-  | Sync_won of { pid : Pid.t; index : int }
+  | Sync_won of { pid : Pid.t; index : int; epoch : int }
   | Sync_late of { pid : Pid.t; index : int }
   | Injected of { kind : string; pid : Pid.t option; msg : Message.t option }
   | Degraded of { parent : Pid.t; reason : string }
+  | Site_crashed of { site : string }
+  | Partitioned of { left : string list; right : string list }
+  | Healed of { left : string list; right : string list }
+  | Recovered of { failed : Pid.t; successor : Pid.t; epoch : int }
   | Note of string
 
 type t = { mutable events : (float * event) list; mutable enabled : bool }
@@ -61,8 +65,9 @@ let pp_event ppf = function
   | Fate_deferred pid -> Format.fprintf ppf "fate deferred for %a" Pid.pp pid
   | Absorbed { parent; child } ->
     Format.fprintf ppf "absorb %a <- %a" Pid.pp parent Pid.pp child
-  | Sync_won { pid; index } ->
-    Format.fprintf ppf "sync won by %a (alternative %d)" Pid.pp pid index
+  | Sync_won { pid; index; epoch } ->
+    Format.fprintf ppf "sync won by %a (alternative %d%s)" Pid.pp pid index
+      (if epoch = 0 then "" else Printf.sprintf ", epoch %d" epoch)
   | Sync_late { pid; index } ->
     Format.fprintf ppf "sync too late for %a (alternative %d)" Pid.pp pid index
   | Injected { kind; pid; msg } ->
@@ -75,6 +80,16 @@ let pp_event ppf = function
       | Some m -> Format.asprintf " %a" Message.pp m)
   | Degraded { parent; reason } ->
     Format.fprintf ppf "degrade %a to sequential (%s)" Pid.pp parent reason
+  | Site_crashed { site } -> Format.fprintf ppf "site %s crashed" site
+  | Partitioned { left; right } ->
+    Format.fprintf ppf "partition {%s} | {%s}" (String.concat "," left)
+      (String.concat "," right)
+  | Healed { left; right } ->
+    Format.fprintf ppf "heal {%s} | {%s}" (String.concat "," left)
+      (String.concat "," right)
+  | Recovered { failed; successor; epoch } ->
+    Format.fprintf ppf "recover coordinator %a -> %a (epoch %d)" Pid.pp failed
+      Pid.pp successor epoch
   | Note s -> Format.fprintf ppf "note: %s" s
 
 let dump ppf t =
@@ -102,6 +117,8 @@ let json_escape s =
   Buffer.contents buf
 
 let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_str_list ss = "[" ^ String.concat "," (List.map json_str ss) ^ "]"
 let json_pid p = string_of_int (Pid.to_int p)
 
 let json_pid_list set =
@@ -162,9 +179,10 @@ let json_fields_of_event = function
     ( "absorbed",
       Printf.sprintf "\"parent\":%s,\"child\":%s" (json_pid parent)
         (json_pid child) )
-  | Sync_won { pid; index } ->
+  | Sync_won { pid; index; epoch } ->
     ( "sync_won",
-      Printf.sprintf "\"pid\":%s,\"index\":%d" (json_pid pid) index )
+      Printf.sprintf "\"pid\":%s,\"index\":%d,\"epoch\":%d" (json_pid pid) index
+        epoch )
   | Sync_late { pid; index } ->
     ( "sync_late",
       Printf.sprintf "\"pid\":%s,\"index\":%d" (json_pid pid) index )
@@ -177,6 +195,20 @@ let json_fields_of_event = function
     ( "degraded",
       Printf.sprintf "\"parent\":%s,\"reason\":%s" (json_pid parent)
         (json_str reason) )
+  | Site_crashed { site } ->
+    ("site_crashed", Printf.sprintf "\"site\":%s" (json_str site))
+  | Partitioned { left; right } ->
+    ( "partitioned",
+      Printf.sprintf "\"left\":%s,\"right\":%s" (json_str_list left)
+        (json_str_list right) )
+  | Healed { left; right } ->
+    ( "healed",
+      Printf.sprintf "\"left\":%s,\"right\":%s" (json_str_list left)
+        (json_str_list right) )
+  | Recovered { failed; successor; epoch } ->
+    ( "recovered",
+      Printf.sprintf "\"failed\":%s,\"successor\":%s,\"epoch\":%d"
+        (json_pid failed) (json_pid successor) epoch )
   | Note s -> ("note", Printf.sprintf "\"text\":%s" (json_str s))
 
 let event_to_json ~time e =

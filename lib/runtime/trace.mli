@@ -20,7 +20,11 @@ type event =
   | Fate of { pid : Pid.t; fate : Predicate.fate }
   | Fate_deferred of Pid.t
   | Absorbed of { parent : Pid.t; child : Pid.t }
-  | Sync_won of { pid : Pid.t; index : int }
+  | Sync_won of { pid : Pid.t; index : int; epoch : int }
+      (** [epoch] is the block incarnation that won the latch: 0 for plain
+          (unsupervised) blocks, >= 1 when a coordinator watchdog is
+          involved ({!Concurrent.run_supervised}). At-most-once is audited
+          {e across} epochs: one winner per block, ever. *)
   | Sync_late of { pid : Pid.t; index : int }
   | Injected of { kind : string; pid : Pid.t option; msg : Message.t option }
       (** A fault injection took effect: [kind] is one of ["drop"],
@@ -31,6 +35,20 @@ type event =
   | Degraded of { parent : Pid.t; reason : string }
       (** An alternative block abandoned speculation and fell back to
           sequential execution ([Concurrent.Sequential_fallback]). *)
+  | Site_crashed of { site : string }
+      (** A whole site failed: every resident process was killed and
+          in-flight messages to or from it were dropped. Individual
+          casualties are additionally traced as [Injected {kind="site-kill"}]
+          / [Killed]. *)
+  | Partitioned of { left : string list; right : string list }
+      (** A network partition came up between the two site groups; messages
+          crossing the cut are dropped (traced as
+          [Injected {kind="partition-drop"}]) until a matching {!Healed}. *)
+  | Healed of { left : string list; right : string list }
+  | Recovered of { failed : Pid.t; successor : Pid.t; epoch : int }
+      (** The coordinator watchdog restarted a dead block coordinator
+          [failed] from its checkpoint as [successor], fencing voters to
+          [epoch] so the stale incarnation can no longer win. *)
   | Note of string
 
 type t

@@ -39,7 +39,7 @@ let test_seeded_double_latch () =
   in
   Trace.record tr
     ~time:(Engine.now rr.Invariants.engine)
-    (Trace.Sync_won { pid = loser; index = 99 });
+    (Trace.Sync_won { pid = loser; index = 99; epoch = 0 });
   let vs = Invariants.check_all rr in
   check Alcotest.bool "caught" true (vs <> []);
   check Alcotest.(list string) "only the at-most-once checker fires"

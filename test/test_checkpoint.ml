@@ -107,6 +107,37 @@ let test_of_bytes_rejects_corrupt_page_table () =
   Alcotest.check Alcotest.int "pristine image still parses" 2
     (Checkpoint.mapped_pages (Checkpoint.of_bytes b))
 
+(* Regression: the framing check used to compute
+   [count * (per_page_header + psize)] straight from wire values, so a
+   crafted header could wrap the product around the native int range until
+   it collided with the buffer length — the parse then died as an
+   out-of-range access deep inside [Bytes.sub] instead of the documented
+   error. Sizes are now bounded field by field before any multiplication. *)
+let test_of_bytes_overflow_safe () =
+  let malformed = Invalid_argument "Checkpoint.of_bytes: malformed image" in
+  let header ~psize ~count =
+    let b = Bytes.create 16 in
+    Bytes.set_int64_le b 0 (Int64.of_int psize);
+    Bytes.set_int64_le b 8 count;
+    b
+  in
+  (* psize 248 gives a per-page stride of 256; count 2^56 makes the page
+     table 2^64 bytes, which wraps to 0 and "matches" the 16-byte buffer. *)
+  Alcotest.check_raises "wrapping count" malformed (fun () ->
+      ignore
+        (Checkpoint.of_bytes (header ~psize:248 ~count:(Int64.shift_left 1L 56))));
+  Alcotest.check_raises "psize beyond the buffer" malformed (fun () ->
+      ignore (Checkpoint.of_bytes (header ~psize:max_int ~count:1L)));
+  Alcotest.check_raises "negative count" malformed (fun () ->
+      ignore (Checkpoint.of_bytes (header ~psize:256 ~count:(-1L))));
+  (* Oversized input — trailing junk after a well-formed image — is
+     rejected too, not silently ignored. *)
+  let sp = mk_space () in
+  Address_space.set_u8 sp ~addr:0 7;
+  let b = Checkpoint.to_bytes (Checkpoint.capture sp) in
+  Alcotest.check_raises "oversized input" malformed (fun () ->
+      ignore (Checkpoint.of_bytes (Bytes.cat b (Bytes.make 1 '\000'))))
+
 let test_restore_page_size_mismatch () =
   let sp = mk_space () in
   Address_space.set_int sp ~addr:0 1;
@@ -153,6 +184,8 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_of_bytes_rejects_garbage;
           Alcotest.test_case "rejects corrupt page table" `Quick
             test_of_bytes_rejects_corrupt_page_table;
+          Alcotest.test_case "overflow-safe framing" `Quick
+            test_of_bytes_overflow_safe;
           Alcotest.test_case "page size mismatch" `Quick test_restore_page_size_mismatch;
           Alcotest.test_case "transfer cost calibration" `Quick
             test_transfer_cost_calibration;

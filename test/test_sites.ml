@@ -1,0 +1,488 @@
+(* Tests for the site/topology layer: placement, site crashes, partitions
+   and healing, epoch fencing, and coordinator recovery — plus the
+   robustness satellites that ride along (kill idempotency, poll-only
+   timeouts, consensus-retry determinism under site faults). *)
+
+let check = Alcotest.check
+
+let mk ?(seed = 42) () =
+  Engine.create ~seed ~model:Cost_model.hp_9000_350 ()
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_validations () =
+  let eng = mk () in
+  Alcotest.check_raises "no sites" (Invalid_argument "Sites.create: no sites")
+    (fun () -> ignore (Sites.create eng ~names:[]));
+  Alcotest.check_raises "duplicate site"
+    (Invalid_argument "Sites.create: duplicate site \"a\"") (fun () ->
+      ignore (Sites.create eng ~names:[ "a"; "b"; "a" ]))
+
+let test_placement () =
+  let eng = mk () in
+  let sites = Sites.create eng ~names:[ "a"; "b" ] in
+  check
+    Alcotest.(list string)
+    "names in declaration order" [ "a"; "b" ] (Sites.names sites);
+  (* Explicit placement wins. *)
+  let explicit = Engine.spawn eng ~site:"b" (fun _ -> ()) in
+  (* A child adopts its parent's site. *)
+  let child = ref None in
+  let parent =
+    Engine.spawn eng ~site:"b" (fun ctx ->
+        child :=
+          Some
+            (Engine.spawn (Engine.engine ctx) ~parent:(Engine.self ctx)
+               (fun _ -> ())))
+  in
+  (* Parentless processes without an explicit site are spread around. *)
+  let p0 = Engine.spawn eng (fun _ -> ()) in
+  let p1 = Engine.spawn eng (fun _ -> ()) in
+  Engine.run eng;
+  check
+    Alcotest.(option string)
+    "explicit site wins" (Some "b") (Sites.site_of sites explicit);
+  check
+    Alcotest.(option string)
+    "child inherits parent's site" (Some "b")
+    (Sites.site_of sites (Option.get !child));
+  (match (Sites.site_of sites p0, Sites.site_of sites p1) with
+  | Some a, Some b when a <> b -> ()
+  | placed ->
+    Alcotest.failf "round-robin should spread parentless pids: %s / %s"
+      (Option.value ~default:"-" (fst placed))
+      (Option.value ~default:"-" (snd placed)));
+  (* [members] reports everything ever placed there, dead included, and
+     rejects unknown sites. *)
+  check Alcotest.bool "explicit is a member of b" true
+    (List.mem explicit (Sites.members sites "b"));
+  check Alcotest.bool "parent is a member of b" true
+    (List.mem parent (Sites.members sites "b"));
+  Alcotest.check_raises "unknown site"
+    (Invalid_argument "Sites.members: unknown site \"zz\"") (fun () ->
+      ignore (Sites.members sites "zz"))
+
+(* ------------------------------------------------------------------ *)
+(* Crashes                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_kills_residents () =
+  let eng = mk () in
+  let sites = Sites.create eng ~names:[ "a"; "b" ] in
+  let victim = Engine.spawn eng ~site:"a" (fun ctx -> Engine.delay ctx 10.) in
+  let survivor = Engine.spawn eng ~site:"b" (fun ctx -> Engine.delay ctx 10.) in
+  let finished = ref false in
+  Engine.after eng ~delay:1. (fun () ->
+      Sites.crash sites "a";
+      Sites.crash sites "a" (* idempotent *);
+      finished := true);
+  Engine.run eng;
+  check Alcotest.bool "crash ran" true !finished;
+  check Alcotest.bool "site a crashed" true (Sites.is_crashed sites "a");
+  check Alcotest.(list string) "alive sites" [ "b" ] (Sites.alive_sites sites);
+  check
+    Alcotest.(list string)
+    "crashed sites" [ "a" ] (Sites.crashed_sites sites);
+  (match Engine.status eng victim with
+  | Some (Engine.Eliminated reason) ->
+    check Alcotest.string "kill reason names the site" "site a crashed" reason
+  | st ->
+    Alcotest.failf "victim should be eliminated, got %s"
+      (match st with None -> "still alive" | Some _ -> "another status"));
+  check Alcotest.bool "survivor unaffected" true
+    (match Engine.status eng survivor with
+    | Some Engine.Exited_ok -> true
+    | _ -> false);
+  check Alcotest.int "exactly one Site_crashed traced" 1
+    (Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Site_crashed { site } -> site = "a"
+      | _ -> false));
+  Alcotest.check_raises "unknown site"
+    (Invalid_argument "Sites.crash: unknown site \"zz\"") (fun () ->
+      Sites.crash sites "zz")
+
+(* ------------------------------------------------------------------ *)
+(* Partitions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_validations () =
+  let eng = mk () in
+  let sites = Sites.create eng ~names:[ "a"; "b"; "c" ] in
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Sites.partition: empty site group") (fun () ->
+      Sites.partition sites ~left:[] ~right:[ "a" ]);
+  Alcotest.check_raises "overlapping groups"
+    (Invalid_argument "Sites.partition: site \"a\" on both sides of the cut")
+    (fun () -> Sites.partition sites ~left:[ "a"; "b" ] ~right:[ "a" ])
+
+let test_partition_drops_and_heal_restores () =
+  let eng = mk () in
+  let sites = Sites.create eng ~names:[ "a"; "b" ] in
+  Sites.partition sites ~left:[ "a" ] ~right:[ "b" ];
+  check Alcotest.bool "link cut" true (Sites.partitioned sites "a" "b");
+  check Alcotest.bool "cut is symmetric" true (Sites.partitioned sites "b" "a");
+  let got = ref [] in
+  let recv =
+    Engine.spawn eng ~site:"b" (fun ctx ->
+        let rec loop () =
+          match Engine.receive_timeout ctx ~timeout:0.4 () with
+          | None -> ()
+          | Some m ->
+            got := m.Message.payload :: !got;
+            loop ()
+        in
+        loop ())
+  in
+  (* The sender keeps retrying across the heal: sends launched while the
+     cut is up are dropped at delivery, the first one after the heal gets
+     through. *)
+  ignore
+    (Engine.spawn eng ~site:"a" (fun ctx ->
+         for i = 1 to 8 do
+           Engine.send ctx recv (Payload.Int i);
+           Engine.delay ctx 0.05
+         done));
+  Engine.after eng ~delay:0.125 (fun () ->
+      Sites.heal sites ~left:[ "a" ] ~right:[ "b" ]);
+  Engine.run eng;
+  check Alcotest.bool "link restored" false (Sites.partitioned sites "a" "b");
+  (match List.rev !got with
+  | [] -> Alcotest.fail "nothing delivered after the heal"
+  | Payload.Int first :: _ ->
+    if first < 3 then
+      Alcotest.failf "message %d crossed the cut before the heal" first
+  | _ -> Alcotest.fail "unexpected payload");
+  let dropped =
+    Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Injected { kind = "partition-drop"; _ } -> true
+      | _ -> false)
+  in
+  check Alcotest.bool "drops traced" true (dropped >= 1);
+  check Alcotest.int "exactly one Partitioned traced" 1
+    (Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Partitioned _ -> true
+      | _ -> false));
+  check Alcotest.int "exactly one Healed traced" 1
+    (Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Healed _ -> true
+      | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Engine.kill is idempotent                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_idempotent () =
+  let eng = mk () in
+  let p = Engine.spawn eng (fun ctx -> Engine.delay ctx 1.) in
+  Engine.after eng ~delay:0.1 (fun () -> Engine.kill eng p ~reason:"first");
+  Engine.after eng ~delay:0.1 (fun () -> Engine.kill eng p ~reason:"second");
+  Engine.run eng;
+  (match Engine.status eng p with
+  | Some (Engine.Eliminated "first") -> ()
+  | _ -> Alcotest.fail "first kill should win, second should be a no-op");
+  (* Killing an already-dead pid after the run is a no-op too. *)
+  Engine.kill eng p ~reason:"third";
+  check Alcotest.bool "status unchanged" true
+    (Engine.status eng p = Some (Engine.Eliminated "first"))
+
+let test_kill_after_natural_exit () =
+  let eng = mk () in
+  let p = Engine.spawn eng (fun _ -> ()) in
+  Engine.after eng ~delay:0.5 (fun () -> Engine.kill eng p ~reason:"late") ;
+  Engine.run eng;
+  check Alcotest.bool "natural exit preserved" true
+    (Engine.status eng p = Some Engine.Exited_ok)
+
+let test_kill_racing_natural_exit () =
+  (* The kill lands at the very virtual instant the body finishes. Whichever
+     way the tie breaks, it must break the same way every run, without an
+     exception, and later kills must not rewrite the outcome. *)
+  let run_once () =
+    let eng = mk ~seed:11 () in
+    let p = Engine.spawn eng (fun ctx -> Engine.delay ctx 0.2) in
+    Engine.after eng ~delay:0.2 (fun () -> Engine.kill eng p ~reason:"race");
+    Engine.run eng;
+    Engine.kill eng p ~reason:"post-race";
+    match Engine.status eng p with
+    | Some Engine.Exited_ok -> "ok"
+    | Some (Engine.Eliminated r) -> "eliminated: " ^ r
+    | Some _ -> "other"
+    | None -> "alive"
+  in
+  let first = run_once () in
+  check Alcotest.bool "decided" true (first = "ok" || first = "eliminated: race");
+  check Alcotest.string "deterministic tie-break" first (run_once ())
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: timeout 0. is a pure poll                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_receive_timeout_zero_polls () =
+  let eng = mk () in
+  let results = ref [] in
+  let recv =
+    Engine.spawn eng (fun ctx ->
+        let t0 = Engine.now_v ctx in
+        let empty = Engine.receive_timeout ctx ~timeout:0. () in
+        results := ("empty poll is None", empty = None) :: !results;
+        results :=
+          ("empty poll burned no time", Engine.now_v ctx = t0) :: !results;
+        (* Let the sender's message arrive, then poll it out. *)
+        Engine.delay ctx 0.1;
+        let t1 = Engine.now_v ctx in
+        let queued = Engine.receive_timeout ctx ~timeout:0. () in
+        results := ("queued poll is Some", queued <> None) :: !results;
+        results :=
+          ("queued poll burned no time", Engine.now_v ctx = t1) :: !results)
+  in
+  ignore
+    (Engine.spawn eng (fun ctx -> Engine.send ctx recv (Payload.Int 1)));
+  Engine.run eng;
+  check Alcotest.int "all polls ran" 4 (List.length !results);
+  List.iter (fun (what, ok) -> check Alcotest.bool what true ok) !results
+
+let test_ivar_read_timeout_zero_polls () =
+  let eng = mk () in
+  let iv = Engine.Ivar.create () in
+  let results = ref [] in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         let t0 = Engine.now_v ctx in
+         let empty = Engine.Ivar.read_timeout ctx iv ~timeout:0. in
+         results := ("unfilled poll is None", empty = None) :: !results;
+         ignore (Engine.Ivar.try_fill iv 7);
+         let filled = Engine.Ivar.read_timeout ctx iv ~timeout:0. in
+         results := ("filled poll reads it", filled = Some 7) :: !results;
+         results :=
+           ("polling burned no time", Engine.now_v ctx = t0) :: !results));
+  Engine.run eng;
+  check Alcotest.int "all polls ran" 3 (List.length !results);
+  List.iter (fun (what, ok) -> check Alcotest.bool what true ok) !results
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: acquire_retry under site faults                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_acquire_retry_deterministic_under_partition () =
+  (* The requester's site is cut off from a voter majority at block start
+     and healed mid-backoff: the first round(s) end [No_quorum], a later
+     round wins. The whole dance — verdict and finish time — must be
+     byte-identical across reruns of the same seed. *)
+  let run_once () =
+    let eng = mk ~seed:5 () in
+    let sites = Sites.create eng ~names:[ "a"; "b"; "c" ] in
+    let m = Majority.create eng ~nodes:3 ~sites:[ "a"; "b"; "c" ] () in
+    Sites.partition sites ~left:[ "a" ] ~right:[ "b"; "c" ];
+    let out = ref "unfinished" in
+    ignore
+      (Engine.spawn eng ~site:"a" (fun ctx ->
+           let verdict =
+             Majority.acquire_retry ctx m ~reply_timeout:0.05 ~retries:3
+               ~backoff:0.02 ()
+           in
+           out :=
+             Printf.sprintf "%s@%.9f"
+               (match verdict with
+               | Majority.Granted -> "granted"
+               | Majority.Denied -> "denied"
+               | Majority.No_quorum -> "no-quorum")
+               (Engine.now_v ctx);
+           Majority.shutdown m));
+    Engine.after eng ~delay:0.12 (fun () ->
+        Sites.heal sites ~left:[ "a" ] ~right:[ "b"; "c" ]);
+    Engine.run eng;
+    !out
+  in
+  let first = run_once () in
+  check Alcotest.bool "eventually granted" true
+    (String.length first >= 7 && String.sub first 0 7 = "granted");
+  check Alcotest.string "same seed, byte-identical outcome" first (run_once ())
+
+let test_denied_returns_without_consuming_retries () =
+  (* Once a majority has explicitly denied, retrying cannot help; the
+     verdict must come back without burning any of the (here enormous)
+     backoff delays. *)
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  let r2_verdict = ref Majority.No_quorum and r2_elapsed = ref infinity in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         ignore (Majority.acquire ctx m ~reply_timeout:1.)));
+  ignore
+    (Engine.spawn eng ~start_delay:0.5 (fun ctx ->
+         let t0 = Engine.now_v ctx in
+         r2_verdict :=
+           Majority.acquire_retry ctx m ~reply_timeout:1. ~retries:5
+             ~backoff:100. ();
+         r2_elapsed := Engine.now_v ctx -. t0;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.bool "denied" true (!r2_verdict = Majority.Denied);
+  check Alcotest.bool "no backoff burned" true (!r2_elapsed < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch fencing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_epoch_denied () =
+  (* Regression for the fencing guard: without per-voter epoch floors a
+     stale incarnation's request would be granted like any other. *)
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  Majority.fence m ~epoch:2;
+  let stale = ref Majority.No_quorum and current = ref Majority.No_quorum in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         stale := Majority.acquire_verdict_epoch ctx m ~epoch:1 ~reply_timeout:1.));
+  ignore
+    (Engine.spawn eng ~start_delay:0.5 (fun ctx ->
+         current :=
+           Majority.acquire_verdict_epoch ctx m ~epoch:2 ~reply_timeout:1.;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.bool "below-floor request denied" true
+    (!stale = Majority.Denied);
+  check Alcotest.bool "current epoch acquirable" true
+    (!current = Majority.Granted)
+
+let test_fence_voids_stale_grants () =
+  let eng = mk () in
+  let m = Majority.create eng ~nodes:3 () in
+  let old = ref Majority.No_quorum and next = ref Majority.No_quorum in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         old := Majority.acquire_verdict_epoch ctx m ~epoch:1 ~reply_timeout:1.));
+  Engine.after eng ~delay:0.5 (fun () -> Majority.fence m ~epoch:2);
+  ignore
+    (Engine.spawn eng ~start_delay:1. (fun ctx ->
+         next :=
+           Majority.acquire_verdict_epoch ctx m ~epoch:2 ~reply_timeout:1.;
+         Majority.shutdown m));
+  Engine.run eng;
+  check Alcotest.bool "epoch-1 incarnation won first" true
+    (!old = Majority.Granted);
+  check Alcotest.bool "fence voids the dead incarnation's grant" true
+    (!next = Majority.Granted)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator recovery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let consensus_policy =
+  {
+    Concurrent.default_policy with
+    Concurrent.sync =
+      Concurrent.Consensus
+        { nodes = 3; crashed = []; vote_delay = 0.; reply_timeout = 0.5 };
+    timeout = 30.;
+    sync_retries = 2;
+    sync_backoff = 0.02;
+  }
+
+let test_supervised_clean_run () =
+  let eng = mk () in
+  let sites = Sites.create eng ~names:[ "s0"; "s1"; "s2" ] in
+  let alts = [ Alternative.make (fun _ -> 42) ] in
+  let rr = Concurrent.run_supervised eng ~policy:consensus_policy ~sites alts in
+  check Alcotest.int "one incarnation" 1 rr.Concurrent.sr_incarnations;
+  check Alcotest.int "epoch 1" 1 rr.Concurrent.sr_epoch;
+  check Alcotest.bool "no recoveries" true (rr.Concurrent.sr_recoveries = []);
+  check Alcotest.(option string) "runs on the first site" (Some "s0")
+    rr.Concurrent.sr_site;
+  match rr.Concurrent.sr_report.Concurrent.outcome with
+  | Alt_block.Selected { value = 42; _ } -> ()
+  | _ -> Alcotest.fail "expected Selected 42"
+
+let test_coordinator_site_crash_recovers () =
+  (* Crash the site hosting coordinator, children, and one voter mid-run.
+     The watchdog must fence to epoch 2, restart from the checkpoint on a
+     surviving site, and commit exactly one winner. *)
+  let eng = mk ~seed:7 () in
+  let sites = Sites.create eng ~names:[ "s0"; "s1"; "s2" ] in
+  let alts =
+    [
+      Alternative.make ~name:"slow" (fun ctx ->
+          Engine.delay ctx 1.;
+          42);
+    ]
+  in
+  Engine.after eng ~delay:0.5 (fun () -> Sites.crash sites "s0");
+  let rr = Concurrent.run_supervised eng ~policy:consensus_policy ~sites alts in
+  check Alcotest.int "two incarnations" 2 rr.Concurrent.sr_incarnations;
+  check Alcotest.int "deciding epoch" 2 rr.Concurrent.sr_epoch;
+  (match rr.Concurrent.sr_recoveries with
+  | [ (_failed, _successor, 2) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one recovery, to epoch 2");
+  (* Incarnation e lands on the (e-1) mod n-th surviving site: with s0
+     dead the survivors are [s1; s2] and epoch 2 picks s2 — away from the
+     crash either way. *)
+  check Alcotest.(option string) "restarted away from the dead site"
+    (Some "s2") rr.Concurrent.sr_site;
+  (match rr.Concurrent.sr_report.Concurrent.outcome with
+  | Alt_block.Selected { value = 42; _ } -> ()
+  | _ -> Alcotest.fail "expected Selected 42");
+  (* At-most-once across incarnations: one winner epoch-wide. *)
+  let wins_in_final_epoch =
+    Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Sync_won { epoch = 2; _ } -> true
+      | _ -> false)
+  in
+  check Alcotest.int "one Sync_won in the deciding epoch" 1 wins_in_final_epoch;
+  check Alcotest.int "one Recovered traced" 1
+    (Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Recovered { epoch = 2; _ } -> true
+      | _ -> false));
+  check Alcotest.int "everything reaped" 0 (Engine.live_count eng)
+
+let () =
+  Alcotest.run "sites"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "create validations" `Quick test_create_validations;
+          Alcotest.test_case "placement rules" `Quick test_placement;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash kills residents" `Quick
+            test_crash_kills_residents;
+          Alcotest.test_case "partition validations" `Quick
+            test_partition_validations;
+          Alcotest.test_case "partition drops, heal restores" `Quick
+            test_partition_drops_and_heal_restores;
+        ] );
+      ( "kill",
+        [
+          Alcotest.test_case "kill is idempotent" `Quick test_kill_idempotent;
+          Alcotest.test_case "kill after natural exit" `Quick
+            test_kill_after_natural_exit;
+          Alcotest.test_case "kill racing natural exit" `Quick
+            test_kill_racing_natural_exit;
+        ] );
+      ( "polling",
+        [
+          Alcotest.test_case "receive_timeout 0 polls" `Quick
+            test_receive_timeout_zero_polls;
+          Alcotest.test_case "ivar read_timeout 0 polls" `Quick
+            test_ivar_read_timeout_zero_polls;
+        ] );
+      ( "consensus under site faults",
+        [
+          Alcotest.test_case "acquire_retry deterministic under partition"
+            `Quick test_acquire_retry_deterministic_under_partition;
+          Alcotest.test_case "denied consumes no retries" `Quick
+            test_denied_returns_without_consuming_retries;
+          Alcotest.test_case "stale epoch denied" `Quick test_stale_epoch_denied;
+          Alcotest.test_case "fence voids stale grants" `Quick
+            test_fence_voids_stale_grants;
+        ] );
+      ( "coordinator recovery",
+        [
+          Alcotest.test_case "clean supervised run" `Quick
+            test_supervised_clean_run;
+          Alcotest.test_case "site crash recovers on a survivor" `Quick
+            test_coordinator_site_crash_recovers;
+        ] );
+    ]
