@@ -15,10 +15,23 @@
      altcheck sites [--seeds N]         run supervised (coordinator-recovery)
                                         blocks under site-crash and
                                         partition campaigns
+     altcheck run/fuzz/sites --sanitize attach the online sanitizer to every
+                                        run and cross-check it against the
+                                        post-mortem checkers
+     altcheck lint [-f F.pl -g GOAL]    statically analyse OR-branch mutual
+                                        exclusivity and alternative
+                                        footprints (JSON findings via --json)
+     altcheck lint --bench              measure the consensus-elision fast
+                                        path and emit BENCH_lint.json
+     altcheck codes                     print the exit-code registry
 
    Exit code 0 when every run satisfies every invariant; otherwise the
-   exit code of the most severe violated class (see Report.class_exit_code).
-   altcheck fuzz/sites exit 20 on a determinism-contract breach. *)
+   exit code of the most severe violated class. Every code altcheck can
+   produce lives in Report.registry ('altcheck codes' prints the table). *)
+
+(* The Prolog term module, captured before [open Cmdliner] shadows it
+   with Cmdliner.Term. *)
+module Prolog_term = Term
 
 open Cmdliner
 
@@ -30,6 +43,16 @@ let jobs_arg =
         ~doc:
           "Worker domains for the sweep (default: one per core). The \
            violation report is identical for every value of $(docv).")
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Attach the online happens-before sanitizer to every run: vector \
+           clocks, streaming invariant checks, and a cross-check against \
+           the post-mortem checkers. Agreement leaves the report \
+           byte-identical; divergence is itself a violation (exit 17).")
 
 (* ---------------- list ---------------- *)
 
@@ -94,10 +117,10 @@ let run_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Print only violations and the summary.")
   in
-  let run seeds names dump quiet jobs =
+  let run seeds names dump quiet jobs sanitize =
     let scenarios = scenarios_of_names names in
     let cells = Invariants.matrix_cells ~seeds ~scenarios () in
-    let results = Invariants.run_cells ~jobs cells in
+    let results = Invariants.run_cells ~jobs ~sanitize cells in
     (* Results are in cell order, so everything below — the per-policy
        progress lines, the violation listing, the dumped run and the
        exit code — is independent of [jobs]. *)
@@ -156,7 +179,7 @@ let run_cmd =
     exit (Report.exit_code violations)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ seeds $ names $ dump $ quiet $ jobs_arg)
+    Term.(const run $ seeds $ names $ dump $ quiet $ jobs_arg $ sanitize_arg)
 
 (* ---------------- fuzz ---------------- *)
 
@@ -202,7 +225,7 @@ let fuzz_cmd =
       & info [ "q"; "quiet" ]
           ~doc:"Print only violations, mismatches and the summary.")
   in
-  let run seeds names campaign_names verify list_campaigns quiet jobs =
+  let run seeds names campaign_names verify list_campaigns quiet jobs sanitize =
     if list_campaigns then begin
       Printf.printf "campaigns:\n";
       List.iter
@@ -234,7 +257,7 @@ let fuzz_cmd =
               exit 1)
           names
     in
-    let result = Fuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify () in
+    let result = Fuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify ~sanitize () in
     if not quiet then List.iter print_endline result.Fuzz.lines;
     List.iter
       (fun v -> Format.printf "%a@." Report.pp_violation v)
@@ -253,13 +276,13 @@ let fuzz_cmd =
          Printf.sprintf ", %d determinism mismatches"
            (List.length result.Fuzz.mismatches)
        else "");
-    if result.Fuzz.mismatches <> [] then exit 20;
+    if result.Fuzz.mismatches <> [] then exit Report.code_determinism;
     exit (Report.exit_code result.Fuzz.violations)
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
-      $ quiet $ jobs_arg)
+      $ quiet $ jobs_arg $ sanitize_arg)
 
 (* ---------------- sites ---------------- *)
 
@@ -308,7 +331,7 @@ let sites_cmd =
       & info [ "q"; "quiet" ]
           ~doc:"Print only violations, mismatches and the summary.")
   in
-  let run seeds names campaign_names verify list_campaigns quiet jobs =
+  let run seeds names campaign_names verify list_campaigns quiet jobs sanitize =
     if list_campaigns then begin
       Printf.printf "topology: %s\n" (String.concat " " Sitefuzz.site_names);
       Printf.printf "campaigns:\n";
@@ -363,7 +386,9 @@ let sites_cmd =
               exit 1)
           names
     in
-    let result = Sitefuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify () in
+    let result =
+      Sitefuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify ~sanitize ()
+    in
     if not quiet then List.iter print_endline result.Sitefuzz.lines;
     List.iter
       (fun v -> Format.printf "%a@." Report.pp_violation v)
@@ -383,13 +408,13 @@ let sites_cmd =
          Printf.sprintf ", %d determinism mismatches"
            (List.length result.Sitefuzz.mismatches)
        else "");
-    if result.Sitefuzz.mismatches <> [] then exit 20;
+    if result.Sitefuzz.mismatches <> [] then exit Report.code_determinism;
     exit (Report.exit_code result.Sitefuzz.violations)
   in
   Cmd.v (Cmd.info "sites" ~doc)
     Term.(
       const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
-      $ quiet $ jobs_arg)
+      $ quiet $ jobs_arg $ sanitize_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -534,9 +559,253 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ seeds $ out $ validate $ jobs_arg)
 
+(* ---------------- lint ---------------- *)
+
+(* The built-in lint suite: the OR-parallel route-planning program from
+   examples/prolog_or.ml. All three plan/1 strategies unify with the
+   goal, two of them end in a top-level fail — a static proof that at
+   most one branch can ever synchronise. *)
+let builtin_program =
+  {|
+  burn(0).
+  burn(N) :- N > 0, M is N - 1, burn(M).
+  plan(rail(X)) :- burn(4000), member(X, []), fail.
+  plan(ferry(X)) :- burn(6000), member(X, []), fail.
+  plan(fly(direct)) :- burn(150).
+|}
+
+let builtin_goals = [ "plan(P)"; "burn(3000)" ]
+
+let lint_db file =
+  let db = Database.with_prelude () in
+  (match file with
+  | None -> ignore (Database.add_program db builtin_program)
+  | Some f ->
+    let ic =
+      try open_in f
+      with Sys_error m ->
+        Printf.eprintf "cannot read %s: %s\n" f m;
+        exit 1
+    in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    (try ignore (Database.add_program db src) with
+    | Parser.Parse_error m ->
+      Printf.eprintf "%s: parse error: %s\n" f m;
+      exit 1
+    | Lexer.Lex_error { pos; message } ->
+      Printf.eprintf "%s: lex error at %d: %s\n" f pos message;
+      exit 1));
+  db
+
+let parse_goal g =
+  try fst (Parser.query g) with
+  | Parser.Parse_error m ->
+    Printf.eprintf "bad goal %S: %s\n" g m;
+    exit 1
+  | Lexer.Lex_error { pos; message } ->
+    Printf.eprintf "bad goal %S: lex error at %d: %s\n" g pos message;
+    exit 1
+
+let consensus_bench_policy =
+  {
+    Concurrent.default_policy with
+    Concurrent.sync =
+      Concurrent.Consensus
+        { nodes = 3; crashed = []; vote_delay = 0.0002; reply_timeout = 0.05 };
+  }
+
+let solution_string = function
+  | None -> "-"
+  | Some bindings ->
+    String.concat ","
+      (List.map
+         (fun (v, t) -> Printf.sprintf "%d=%s" v (Prolog_term.to_string t))
+         bindings)
+
+let lint_bench db goal out validate =
+  let finding = Lint.check_goal db goal in
+  let exclusive = match finding.Lint.verdict with
+    | Lint.Independent _ -> true
+    | Lint.Conflicting _ | Lint.Unknown _ -> false
+  in
+  if not exclusive then begin
+    Printf.eprintf
+      "refusing to bench consensus elision: goal %s is not proven exclusive \
+       (%s)\n"
+      finding.Lint.target
+      (Lint.verdict_detail finding.Lint.verdict);
+    exit (Lint.exit_code [ finding ])
+  end;
+  (* Same goal, same seed, same policy: the only difference is the voter
+     group. The winner and its bindings must be byte-identical; the
+     elided run must not be slower. *)
+  let base = Or_parallel.solve_sim ~policy:consensus_bench_policy db goal in
+  let fast =
+    Or_parallel.solve_sim ~policy:consensus_bench_policy ~exclusive:true db goal
+  in
+  let winner b = match b with Some i -> string_of_int i | None -> "-" in
+  let identical =
+    base.Or_parallel.winner_branch = fast.Or_parallel.winner_branch
+    && solution_string base.Or_parallel.first_solution
+       = solution_string fast.Or_parallel.first_solution
+  in
+  let delta = base.Or_parallel.par_time -. fast.Or_parallel.par_time in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  %S: %S," "benchmark" "lint-consensus-elision";
+        Printf.sprintf "  %S: %S," "goal" finding.Lint.target;
+        Printf.sprintf "  %S: %S," "verdict" (Lint.verdict_name finding.Lint.verdict);
+        Printf.sprintf "  %S: %S," "proof" (Lint.verdict_detail finding.Lint.verdict);
+        Printf.sprintf "  %S: %d," "branches" finding.Lint.branches;
+        Printf.sprintf "  %S: %S," "winner_consensus" (winner base.Or_parallel.winner_branch);
+        Printf.sprintf "  %S: %S," "winner_elided" (winner fast.Or_parallel.winner_branch);
+        Printf.sprintf "  %S: %S," "solution_consensus"
+          (solution_string base.Or_parallel.first_solution);
+        Printf.sprintf "  %S: %S," "solution_elided"
+          (solution_string fast.Or_parallel.first_solution);
+        Printf.sprintf "  %S: %b," "winner_identical" identical;
+        Printf.sprintf "  %S: %.9f," "par_time_consensus_s" base.Or_parallel.par_time;
+        Printf.sprintf "  %S: %.9f," "par_time_elided_s" fast.Or_parallel.par_time;
+        Printf.sprintf "  %S: %.9f," "sync_overhead_saved_s" delta;
+        Printf.sprintf "  %S: %.6f" "overhead_saved_pct"
+          (if base.Or_parallel.par_time > 0. then
+             100. *. delta /. base.Or_parallel.par_time
+           else 0.);
+        "}";
+        "";
+      ]
+  in
+  let oc =
+    try open_out out
+    with Sys_error m ->
+      Printf.eprintf "cannot write %s: %s\n" out m;
+      exit 1
+  in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "%s: winner %s (consensus) vs %s (elided), identical=%b; %.6fs -> %.6fs \
+     (saved %.6fs)\n"
+    out
+    (winner base.Or_parallel.winner_branch)
+    (winner fast.Or_parallel.winner_branch)
+    identical base.Or_parallel.par_time fast.Or_parallel.par_time delta;
+  if validate then begin
+    if not identical then begin
+      Printf.eprintf
+        "validation FAILED: elided winner differs from the consensus winner\n";
+      exit 2
+    end;
+    if delta < 0. then begin
+      Printf.eprintf
+        "validation FAILED: eliding consensus made the block slower \
+         (%.9fs -> %.9fs)\n"
+        base.Or_parallel.par_time fast.Or_parallel.par_time;
+      exit 3
+    end;
+    Printf.printf "elision ok: winner identical, %.6fs overhead saved\n" delta
+  end;
+  exit 0
+
+let lint_cmd =
+  let doc =
+    "Statically analyse alternative independence: OR-branch mutual \
+     exclusivity over a Prolog database, and declared effect-footprint \
+     conflicts. Exit 0 only when every finding is proven independent; \
+     conflicts exit 21, undecided findings exit 22 ($(b,altcheck codes))."
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE.pl"
+          ~doc:
+            "Prolog program to analyse (with the standard prelude loaded). \
+             Default: the built-in OR-parallel route-planning suite.")
+  in
+  let goals =
+    Arg.(
+      value & opt_all string []
+      & info [ "g"; "goal" ] ~docv:"GOAL"
+          ~doc:
+            "Goal whose OR branches to analyse (repeatable). Default: the \
+             built-in suite's goals.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit findings as JSON Lines (one object per finding).")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Measure the consensus-elision fast path on the (single) goal: \
+             race the OR branches under 3-node consensus, then again with \
+             the proven-exclusive verdict eliding the voters, and write a \
+             JSON record comparing winners and overhead.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_lint.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where $(b,--bench) writes.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "With $(b,--bench): fail unless the elided winner is identical \
+             and no overhead was added (used by the $(b,@lint) alias).")
+  in
+  let run file goals json bench out validate =
+    let db = lint_db file in
+    let goals =
+      match (goals, file) with
+      | [], None -> if bench then [ List.hd builtin_goals ] else builtin_goals
+      | [], Some f ->
+        Printf.eprintf "no goal given for %s (use -g GOAL)\n" f;
+        exit 1
+      | gs, _ -> gs
+    in
+    if bench then begin
+      match goals with
+      | [ g ] -> lint_bench db (parse_goal g) out validate
+      | _ ->
+        Printf.eprintf "--bench takes exactly one goal\n";
+        exit 1
+    end;
+    let findings =
+      List.map (fun g -> Lint.check_goal db (parse_goal g)) goals
+    in
+    List.iter
+      (fun f ->
+        if json then print_endline (Lint.finding_to_json f)
+        else Format.printf "%a@." Lint.pp_finding f)
+      findings;
+    exit (Lint.exit_code findings)
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ file $ goals $ json $ bench $ out $ validate)
+
+(* ---------------- codes ---------------- *)
+
+let codes_cmd =
+  let doc = "Print the exit-code registry (the single source of truth)." in
+  let run () = Format.printf "%a" Report.pp_code_table () in
+  Cmd.v (Cmd.info "codes" ~doc) Term.(const run $ const ())
+
 let () =
   let doc = "Check executions against the transparency paper's invariants" in
   let info = Cmd.info "altcheck" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; fuzz_cmd; sites_cmd; bench_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; fuzz_cmd; sites_cmd; bench_cmd; lint_cmd; codes_cmd ]))

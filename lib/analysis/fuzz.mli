@@ -53,9 +53,9 @@ val cells :
 (** The matrix in canonical order: scenarios outermost, then campaigns,
     then policies, then seeds in [1..seeds] (default 5). *)
 
-val run_cell : cell -> Invariants.run * Report.violation list
+val run_cell : ?sanitize:bool -> cell -> Invariants.run * Report.violation list
 (** One faulted, checked execution ({!Invariants.run_checked} with the
-    campaign's plan installed). *)
+    campaign's plan installed; [sanitize] as there). *)
 
 val summary : cell -> Invariants.run -> string
 (** A deterministic one-line digest of the cell's execution: outcome,
@@ -82,12 +82,15 @@ val run :
   ?campaigns:campaign list ->
   ?policies:Concurrent.policy list ->
   ?verify:bool ->
+  ?sanitize:bool ->
   unit ->
   result
 (** Run the whole matrix, fanned over [jobs] domains (default 1) via
     {!Parallel.map_indexed} — results are in cell order for any [jobs].
     With [verify] (default false) each cell is executed twice and the
-    summaries and violation reports compared. *)
+    summaries and violation reports compared. With [sanitize] every cell
+    runs under the online {!Sanitizer}, cross-checked against the
+    post-mortem oracle; agreement leaves the report byte-identical. *)
 
 val describe_cell : cell -> string
 (** ["scenario/campaign/policy/seed N"] — the replay coordinates. *)

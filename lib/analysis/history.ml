@@ -84,7 +84,7 @@ let of_trace trace =
       | Trace.Recovered { failed; successor; epoch } ->
         recoveries := (failed, successor, epoch) :: !recoveries
       | Trace.Started _ | Trace.Delivered _ | Trace.Ignored _ | Trace.Split _
-      | Trace.Fate_deferred _ | Trace.Note _ -> ())
+      | Trace.Fate_deferred _ | Trace.Sanitizer_flag _ | Trace.Note _ -> ())
     (Trace.events trace);
   {
     spawns;

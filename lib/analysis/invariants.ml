@@ -16,6 +16,7 @@ type run = {
   scenario : scenario;
   seed : int;
   alts_count : int;
+  sanitizer : Sanitizer.t option;
 }
 
 let viol rr check detail =
@@ -38,17 +39,23 @@ let mk_source eng scenario =
     Some s
   end
 
-let run_scenario ?faults scenario ~policy ~seed =
+let run_scenario ?faults ?(sanitize = false) scenario ~policy ~seed =
   let engine = mk_engine seed in
-  (* Fault plans hook the engine before anything is spawned, so a campaign
-     covers the whole execution (the transparency checker's reference runs
-     stay fault-free: they are built by [sequential_reference] below). *)
+  (* The sanitizer attaches before anything is spawned (its vector clocks
+     must see every Spawned event), and fault plans hook the engine before
+     anything is spawned, so a campaign covers the whole execution (the
+     transparency checker's reference runs stay fault-free: they are built
+     by [sequential_reference] below). *)
+  let sanitizer = if sanitize then Some (Sanitizer.attach engine) else None in
   (match faults with Some install -> install engine | None -> ());
   let space = mk_space engine in
   Address_space.set_tracking space true;
   scenario.prepare engine space;
   ignore (Address_space.drain_cost space);
   let source = mk_source engine scenario in
+  (match (sanitizer, source) with
+  | Some sz, Some src -> Sanitizer.observe_source sz src
+  | _ -> ());
   let alts = scenario.alts engine ~seed ~source in
   let report = Concurrent.run_toplevel engine ~policy ~space alts in
   {
@@ -60,6 +67,7 @@ let run_scenario ?faults scenario ~policy ~seed =
     scenario;
     seed;
     alts_count = List.length alts;
+    sanitizer;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -506,9 +514,22 @@ let check_all rr =
     Race.check_sources s ~scenario:rr.scenario.sc_name ~policy ~seed:rr.seed
   | None -> []
 
-let run_checked ?faults scenario ~policy ~seed =
-  let rr = run_scenario ?faults scenario ~policy ~seed in
-  (rr, check_all rr)
+let run_checked ?faults ?sanitize scenario ~policy ~seed =
+  let rr = run_scenario ?faults ?sanitize scenario ~policy ~seed in
+  let vs = check_all rr in
+  match rr.sanitizer with
+  | None -> (rr, vs)
+  | Some sz ->
+    (* The post-mortem checkers are the sanitizer's oracle: on every cell
+       the streaming verdict must agree with the replay verdict. Agreement
+       contributes nothing, so clean sweeps stay byte-identical; a
+       divergence is a finding of its own class (exit code 17). *)
+    Sanitizer.detach sz;
+    let policy_s = Concurrent.describe policy in
+    ( rr,
+      vs
+      @ Sanitizer.crosscheck sz ~oracle:vs ~scenario:scenario.sc_name
+          ~policy:policy_s ~seed )
 
 (* ------------------------------------------------------------------ *)
 (* The default scenarios.                                              *)
@@ -690,16 +711,17 @@ let matrix_cells ?(seeds = 5) ?(scenarios = default_scenarios)
            policies)
        scenarios)
 
-let run_cells ?(jobs = 1) cells =
+let run_cells ?(jobs = 1) ?sanitize cells =
   Parallel.map_indexed ~jobs
     (fun i ->
       let c = cells.(i) in
-      run_checked c.cell_scenario ~policy:c.cell_policy ~seed:c.cell_seed)
+      run_checked ?sanitize c.cell_scenario ~policy:c.cell_policy
+        ~seed:c.cell_seed)
     (Array.length cells)
 
-let run_matrix ?seeds ?scenarios ?policies ?jobs () =
+let run_matrix ?seeds ?scenarios ?policies ?jobs ?sanitize () =
   let cells = matrix_cells ?seeds ?scenarios ?policies () in
-  let results = run_cells ?jobs cells in
+  let results = run_cells ?jobs ?sanitize cells in
   let violations =
     List.concat_map (fun (_, vs) -> vs) (Array.to_list results)
   in

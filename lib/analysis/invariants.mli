@@ -48,17 +48,24 @@ type run = {
   scenario : scenario;
   seed : int;
   alts_count : int;
+  sanitizer : Sanitizer.t option;
+      (** Present when the run executed with [~sanitize:true]: the online
+          monitor that watched the execution, flags included. *)
 }
 
 val run_scenario :
-  ?faults:(Engine.t -> unit) -> scenario -> policy:Concurrent.policy -> seed:int -> run
+  ?faults:(Engine.t -> unit) ->
+  ?sanitize:bool ->
+  scenario -> policy:Concurrent.policy -> seed:int -> run
 (** Execute the scenario under the policy: fresh engine
     ({!Cost_model.att_3b2}), tracked parent space, block run to
     quiescence via {!Concurrent.run_toplevel}. [faults] (e.g.
     [Faultplan.install plan]) is applied to the fresh engine before
     anything runs, so an injection campaign covers the whole execution;
     the transparency checker's sequential reference runs are always
-    fault-free. *)
+    fault-free. With [~sanitize:true] (default false) a {!Sanitizer} is
+    attached before anything spawns and watches the whole execution
+    online. *)
 
 val sequential_reference :
   scenario ->
@@ -83,6 +90,7 @@ val check_all : run -> Report.violation list
 
 val run_checked :
   ?faults:(Engine.t -> unit) ->
+  ?sanitize:bool ->
   scenario ->
   policy:Concurrent.policy ->
   seed:int ->
@@ -90,7 +98,11 @@ val run_checked :
 (** {!run_scenario} followed by {!check_all}. The checkers are
     fault-aware: fault-caused block failures and policy-sanctioned
     sequential degradations are excused, but a {e selected} result must
-    satisfy every invariant — faults included. *)
+    satisfy every invariant — faults included. With [~sanitize:true] the
+    online sanitizer watches the run and is then cross-checked against
+    the post-mortem verdict ({!Sanitizer.crosscheck}); agreement adds
+    nothing (clean sweeps stay byte-identical), divergence appends
+    {!Report.Sanitizer} violations. *)
 
 val default_scenarios : scenario list
 (** [counters] (racing writers over shared pages), [guarded] (one closed
@@ -119,7 +131,9 @@ val matrix_cells :
     order: scenarios outermost, then policies, then seeds (default seeds
     per cell: 5). *)
 
-val run_cells : ?jobs:int -> cell array -> (run * Report.violation list) array
+val run_cells :
+  ?jobs:int -> ?sanitize:bool -> cell array ->
+  (run * Report.violation list) array
 (** {!run_checked} over every cell, fanned out across [jobs] domains
     (default 1) via {!Parallel.map_indexed}. Each cell constructs its
     whole engine-world from scratch, so cells share no mutable state
@@ -132,6 +146,7 @@ val run_matrix :
   ?scenarios:scenario list ->
   ?policies:Concurrent.policy list ->
   ?jobs:int ->
+  ?sanitize:bool ->
   unit ->
   Report.violation list * int
 (** Run every (scenario, policy, seed in [1..seeds]) combination (default

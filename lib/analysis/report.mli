@@ -2,7 +2,10 @@
 
     Every checker names its findings with a {!check_class}; the classes map
     to distinct process exit codes so that scripted runs of [altcheck] can
-    tell {e which} invariant of the paper broke without parsing output. *)
+    tell {e which} invariant of the paper broke without parsing output. All
+    exit codes [altcheck] can produce — checker classes, the determinism
+    contract, and the lint verdicts — live in one {!registry}; the CLI
+    table ([altcheck codes]) and the docs are derived from it. *)
 
 (** The invariant families, in severity order (most fundamental first). *)
 type check_class =
@@ -28,6 +31,15 @@ type check_class =
   | Accounting
       (** The execution report's overhead counters reconcile with the
           engine's own measurements (section 4). *)
+  | Sanitizer
+      (** The online sanitizer ({!Sanitizer}) and the post-mortem checkers
+          disagree on a run — one of the two monitors is wrong, which is
+          itself a finding. Streaming flags that mirror a post-mortem class
+          are reported under {e that} class; this class only covers
+          divergence between the two. *)
+
+val all_classes : check_class list
+(** Every class, in severity (= declaration) order. *)
 
 val class_name : check_class -> string
 (** Short stable identifier, e.g. ["at-most-once"]. *)
@@ -37,7 +49,40 @@ val class_provenance : check_class -> string
     e.g. ["lib/core/concurrent.ml"]. *)
 
 val class_exit_code : check_class -> int
-(** Distinct nonzero process exit code per class (10-16). *)
+(** Distinct nonzero process exit code per class (10-17), looked up in
+    {!registry}. *)
+
+(** {1 The exit-code registry} *)
+
+type code_info = {
+  code : int;  (** The process exit code. *)
+  label : string;  (** Stable identifier ({!class_name} for checker classes). *)
+  meaning : string;  (** One-line account, used by the CLI table and docs. *)
+  source : string;  (** The source file the code's logic lives in. *)
+}
+
+val registry : code_info list
+(** Every exit code [altcheck] can produce, in ascending order: [0] (ok),
+    [10]-[17] (checker classes), [20] (determinism contract), [21]-[22]
+    (lint verdicts). The single source of truth: the CLI and docs derive
+    their tables from this list. *)
+
+val code_of_label : string -> int
+(** Look a code up by its label. Raises [Invalid_argument] on labels not in
+    {!registry}. *)
+
+val code_determinism : int
+(** Exit code of a jobs-1 vs jobs-N report mismatch (20). *)
+
+val code_lint_conflict : int
+(** Exit code when [altcheck lint] finds conflicting alternatives (21). *)
+
+val code_lint_unknown : int
+(** Exit code when [altcheck lint] cannot analyse its input (22). *)
+
+val pp_code_table : Format.formatter -> unit -> unit
+(** The registry as an aligned text table, one code per line — what
+    [altcheck codes] prints and what the README quotes. *)
 
 type violation = {
   check : check_class;
@@ -57,3 +102,6 @@ val pp_violation : Format.formatter -> violation -> unit
 val exit_code : violation list -> int
 (** [0] for no violations; otherwise the exit code of the most severe
     class present (severity = declaration order of {!check_class}). *)
+
+val severity : check_class -> int
+(** Position in {!all_classes} (0 = most fundamental). *)

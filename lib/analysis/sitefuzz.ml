@@ -165,10 +165,12 @@ type run = {
   sf_sr : int Concurrent.supervised_report;
   sf_cell : cell;
   sf_alts_count : int;
+  sf_sanitizer : Sanitizer.t option;
 }
 
-let run_cell c =
+let run_cell ?(sanitize = false) c =
   let engine = Engine.create ~model:Cost_model.att_3b2 ~seed:c.sf_seed () in
+  let sanitizer = if sanitize then Some (Sanitizer.attach engine) else None in
   let sites = Sites.create engine ~names:site_names in
   Faultplan.install ~sites (c.sf_campaign.plan ~seed:c.sf_seed) engine;
   let space =
@@ -187,6 +189,7 @@ let run_cell c =
     sf_sr = sr;
     sf_cell = c;
     sf_alts_count = List.length alts;
+    sf_sanitizer = sanitizer;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -434,15 +437,31 @@ type result = {
 let render_violations vs =
   List.map (fun v -> Format.asprintf "%a" Report.pp_violation v) vs
 
-let run ?(jobs = 1) ?seeds ?scenarios ?campaigns ?policies ?(verify = false) ()
-    =
+(* [check] plus, when the cell ran sanitized, the streaming-vs-post-mortem
+   cross-check (agreement adds nothing; divergence is a Sanitizer-class
+   violation). *)
+let check_crossed rr =
+  let vs = check rr in
+  match rr.sf_sanitizer with
+  | None -> vs
+  | Some sz ->
+    Sanitizer.detach sz;
+    let c = rr.sf_cell in
+    vs
+    @ Sanitizer.crosscheck sz ~oracle:vs
+        ~scenario:c.sf_scenario.Invariants.sc_name
+        ~policy:(Concurrent.describe c.sf_policy)
+        ~seed:c.sf_seed
+
+let run ?(jobs = 1) ?seeds ?scenarios ?campaigns ?policies ?(verify = false)
+    ?sanitize () =
   let cs = cells ?seeds ?scenarios ?campaigns ?policies () in
   let results =
     Parallel.map_indexed ~jobs
       (fun i ->
         let c = cs.(i) in
-        let rr = run_cell c in
-        let vs = check rr in
+        let rr = run_cell ?sanitize c in
+        let vs = check_crossed rr in
         let line = summary rr in
         let mismatch =
           if not verify then None
@@ -450,8 +469,8 @@ let run ?(jobs = 1) ?seeds ?scenarios ?campaigns ?policies ?(verify = false) ()
             (* Determinism contract: a fresh engine, topology and plan from
                the same seeds must reproduce the digest and the violations
                byte for byte. *)
-            let rr' = run_cell c in
-            let vs' = check rr' in
+            let rr' = run_cell ?sanitize c in
+            let vs' = check_crossed rr' in
             let line' = summary rr' in
             if line <> line' || render_violations vs <> render_violations vs'
             then

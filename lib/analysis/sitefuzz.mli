@@ -71,11 +71,14 @@ type run = {
   sf_sr : int Concurrent.supervised_report;
   sf_cell : cell;
   sf_alts_count : int;
+  sf_sanitizer : Sanitizer.t option;
+      (** Present when the cell ran with [~sanitize:true]. *)
 }
 
-val run_cell : cell -> run
+val run_cell : ?sanitize:bool -> cell -> run
 (** Fresh engine, topology, plan and scenario state; the block run to
-    quiescence under {!Concurrent.run_supervised}. *)
+    quiescence under {!Concurrent.run_supervised}. With [sanitize] the
+    online {!Sanitizer} watches the whole execution. *)
 
 val check : run -> Report.violation list
 (** The epoch-aware checkers described above. *)
@@ -102,9 +105,12 @@ val run :
   ?campaigns:campaign list ->
   ?policies:Concurrent.policy list ->
   ?verify:bool ->
+  ?sanitize:bool ->
   unit ->
   result
 (** Run the whole matrix, fanned over [jobs] domains via
     {!Parallel.map_indexed} (results in cell order for any [jobs]). With
     [verify] each cell executes twice and the digests and violations are
-    compared byte-for-byte. *)
+    compared byte-for-byte. With [sanitize] every cell runs under the
+    online {!Sanitizer}, cross-checked against the epoch-aware post-mortem
+    checkers. *)

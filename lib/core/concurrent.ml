@@ -114,7 +114,8 @@ let child_predicate parent_pred pids i =
   in
   add p 0
 
-let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0) alts =
+let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0)
+    ?(exclusive = false) alts =
   let eng = Engine.engine ctx in
   let model = Engine.model eng in
   let n = List.length alts in
@@ -172,9 +173,22 @@ let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0) alts =
        incarnation: its durable grants are exactly what makes the
        at-most-once decision survive a coordinator restart, so the block
        must neither create nor shut it down. *)
+    (* Consensus elision: when the caller proved (statically, via Lint)
+       that at most one alternative can ever reach its synchronisation
+       point successfully, the distributed 0-1 semaphore decides nothing
+       — the sole possible winner is granted unconditionally — so the
+       block may fall back to the local latch and skip the voter group
+       entirely. Never applied to a borrowed group: durable grants are
+       the coordinator-recovery machinery's, not ours to elide. *)
+    let elide_consensus =
+      exclusive
+      && borrowed = None
+      && match policy.sync with Consensus _ -> true | Local -> false
+    in
     let owned_consensus =
       match (policy.sync, borrowed) with
       | Local, _ | Consensus _, Some _ -> None
+      | Consensus _, None when elide_consensus -> None
       | Consensus { nodes; crashed; vote_delay; _ }, None ->
         Some (Majority.create eng ~nodes ~crashed ~vote_delay ())
     in
@@ -252,6 +266,8 @@ let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0) alts =
        "the synchronisation layer was unreachable". *)
     let no_quorum_seen = ref 0 in
     let tr e = Trace.record (Engine.trace eng) ~time:(Engine.now eng) e in
+    if elide_consensus then
+      tr (Trace.Note "consensus elided: alternatives proven mutually exclusive");
     let remote =
       match policy.placement with
       | Remote_spawn | Remote_on_demand -> true
@@ -646,11 +662,11 @@ let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
     sr_space = final_space;
   }
 
-let run_toplevel eng ?policy ?space alts =
+let run_toplevel eng ?policy ?space ?exclusive alts =
   let result = ref None in
   let pid =
     Engine.spawn eng ?space ~cloneable:false ~name:"alt-parent" (fun ctx ->
-        result := Some (run ctx ?policy alts))
+        result := Some (run ctx ?policy ?exclusive alts))
   in
   (* The caller owns the space it passed in and may inspect the absorbed
      state after the run. *)

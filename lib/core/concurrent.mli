@@ -153,6 +153,7 @@ val run :
   ?policy:policy ->
   ?consensus:Majority.t ->
   ?epoch:int ->
+  ?exclusive:bool ->
   'a Alternative.t list ->
   'a report
 (** Execute the block from inside a process. The calling process blocks (as
@@ -167,12 +168,27 @@ val run :
     [crashed] and [vote_delay] fields are then ignored in favour of the
     lent group. [epoch] (default 0) stamps this incarnation's consensus
     requests and its {!Trace.Sync_won} event; leave it at 0 for
-    unsupervised blocks (byte-identical wire format to earlier releases). *)
+    unsupervised blocks (byte-identical wire format to earlier releases).
+
+    [exclusive] (default [false]) asserts that the caller has {e proved}
+    — statically, e.g. via [Lint.check_goal] — that at most one
+    alternative can ever reach its synchronisation point successfully.
+    Under a [Consensus] sync policy (and no borrowed group) the block
+    then {e elides} the voter machinery: the distributed 0-1 semaphore
+    would always grant the sole possible winner, so a local latch decides
+    identically with zero consensus messages. The winner, its value and
+    the absorbed state are byte-identical to the consensus path; only the
+    synchronisation overhead changes. A [Trace.Note] records the elision.
+    Passing [exclusive] on a block that is {e not} mutually exclusive
+    forfeits the distributed at-most-once guarantee the policy asked for
+    — it is the caller's proof obligation, which is why only the static
+    analyzer's [Independent] verdict should ever set it. *)
 
 val run_toplevel :
   Engine.t ->
   ?policy:policy ->
   ?space:Address_space.t ->
+  ?exclusive:bool ->
   'a Alternative.t list ->
   'a report
 (** Convenience for tests and benchmarks: spawn a fresh root process,

@@ -123,4 +123,5 @@ let alternative ?equal ~replicas (alt : 'a Alternative.t) =
             (Alternative.Failed
                (Printf.sprintf "%s: no replica majority (%d/%d agreed)"
                   alt.Alternative.name q.agreeing replicas)));
+    footprint = alt.Alternative.footprint;
   }

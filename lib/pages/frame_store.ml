@@ -8,12 +8,26 @@ type t = {
   mutable allocs : int;
   mutable copies : int;
   mutable free : frame list;  (* recycled zeroed frames *)
+  mutable next_map : int;  (* map identities, for the write observer *)
+  mutable write_observer : (map:int -> vpage:int -> frame:int -> unit) option;
 }
 
 let create ~page_size =
   if page_size <= 0 then invalid_arg "Frame_store.create: page_size";
   { page_size; zero = Bytes.make page_size '\000'; next_id = 0; live = 0;
-    allocs = 0; copies = 0; free = [] }
+    allocs = 0; copies = 0; free = []; next_map = 0; write_observer = None }
+
+let fresh_map_id t =
+  let id = t.next_map in
+  t.next_map <- t.next_map + 1;
+  id
+
+let set_write_observer t f = t.write_observer <- f
+
+let notify_write t ~map ~vpage ~frame =
+  match t.write_observer with
+  | Some f -> f ~map ~vpage ~frame
+  | None -> ()
 
 let zero_page t = t.zero
 

@@ -57,3 +57,19 @@ val total_allocations : t -> int
 val cow_copies : t -> int
 (** Number of [alloc_copy] calls since creation (monotone): the pool-wide
     count of copy-on-write faults serviced. *)
+
+val fresh_map_id : t -> int
+(** A pool-unique identity for a {!Page_map} drawing frames from this
+    pool. Ids are dense, allocated in creation order, so they are
+    deterministic per simulation. *)
+
+val set_write_observer :
+  t -> (map:int -> vpage:int -> frame:int -> unit) option -> unit
+(** Install (or clear) an online write observer: {!Page_map.note_write}
+    reports every {e tracked} page write through it, identifying the
+    writing map by its {!fresh_map_id}. Untracked maps stay entirely off
+    this path, so benchmarks are unaffected. The analysis layer's
+    sanitizer uses this to detect isolation races as they happen. *)
+
+val notify_write : t -> map:int -> vpage:int -> frame:int -> unit
+(** Used by {!Page_map}; a no-op when no observer is installed. *)

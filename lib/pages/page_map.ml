@@ -25,6 +25,7 @@ type node = {
 
 type t = {
   store : Frame_store.t;
+  id : int;  (* store-unique map identity, for the write observer *)
   mutable top : node;
   mutable mapped : int;  (* distinct vpages resolving to a frame *)
   mutable fault : bool;  (* scratch: did the last prepare_write COW? *)
@@ -42,11 +43,13 @@ type t = {
 let fresh_top base = { frames = Hashtbl.create 8; is_top = true; deps = []; base }
 
 let create store =
-  { store; top = fresh_top None; mapped = 0; fault = false; cow_copies = 0;
+  { store; id = Frame_store.fresh_map_id store; top = fresh_top None;
+    mapped = 0; fault = false; cow_copies = 0;
     writes = 0; reads = 0; released = false; track = false;
     reads_log = Hashtbl.create 8; writes_log = Hashtbl.create 8 }
 
 let store t = t.store
+let id t = t.id
 let page_size t = Frame_store.page_size t.store
 
 let check t = if t.released then invalid_arg "Page_map: use after release"
@@ -135,7 +138,8 @@ let fork parent =
       ct
     end
   in
-  { store = parent.store; top = child_top; mapped = parent.mapped;
+  { store = parent.store; id = Frame_store.fresh_map_id parent.store;
+    top = child_top; mapped = parent.mapped;
     fault = false; cow_copies = 0; writes = 0; reads = 0; released = false;
     track = parent.track; reads_log = Hashtbl.create 8;
     writes_log = Hashtbl.create 8 }
@@ -241,7 +245,10 @@ let prepare_write t vpage =
   | exception Not_found -> prepare_slow t vpage
 
 let note_write t vpage f =
-  if t.track then Hashtbl.replace t.writes_log vpage (Frame_store.id f)
+  if t.track then begin
+    Hashtbl.replace t.writes_log vpage (Frame_store.id f);
+    Frame_store.notify_write t.store ~map:t.id ~vpage ~frame:(Frame_store.id f)
+  end
 
 let write_from t ~vpage ~off ~src ~src_off ~len =
   check t;

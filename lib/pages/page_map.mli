@@ -18,6 +18,12 @@ val create : Frame_store.t -> t
     zeroes and are materialised on first write. *)
 
 val store : t -> Frame_store.t
+val id : t -> int
+(** This map's {!Frame_store.fresh_map_id}: a store-unique, deterministic
+    identity. The frame store's write observer reports tracked writes
+    under it, and the analysis layer joins those reports back to processes
+    through {!Address_space.map}. *)
+
 val page_size : t -> int
 
 val fork : t -> t

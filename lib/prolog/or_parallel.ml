@@ -15,7 +15,8 @@ type sim_report = {
    The simulation thereby charges exactly the inference counts a real
    OR-parallel engine would execute. *)
 let solve_sim ?(model = Cost_model.modern) ?(cores = Engine.Infinite) ?policy
-    ?(inference_cost = 1e-4) ?(heap_bytes = 256 * 1024) ?(seed = 42) db goal =
+    ?exclusive ?(inference_cost = 1e-4) ?(heap_bytes = 256 * 1024) ?(seed = 42)
+    db goal =
   let qvars = Term.vars goal in
   let branches = Solve.branches db goal in
   let results =
@@ -38,12 +39,13 @@ let solve_sim ?(model = Cost_model.modern) ?(cores = Engine.Infinite) ?policy
   let alternatives =
     List.map
       (fun ((b : Solve.branch), (r : Solve.result)) ->
+        let bytes = min heap_bytes (256 + (32 * r.Solve.inferences)) in
         Alternative.make ~name:(Printf.sprintf "clause%d" b.Solve.branch_index)
+          ~footprint:(Alternative.footprint ~writes:[ (0, bytes) ] ())
           (fun ctx ->
             (* Binding/trail writes: every branch updates the same shared
                region (the binding environment), privatising pages lazily;
                volume scales with the branch's work, locality is high. *)
-            let bytes = min heap_bytes (256 + (32 * r.Solve.inferences)) in
             (match Engine.space ctx with
             | Some sp ->
               Address_space.touch sp ~addr:0 ~len:bytes;
@@ -70,7 +72,8 @@ let solve_sim ?(model = Cost_model.modern) ?(cores = Engine.Infinite) ?policy
     }
   | _ ->
     let report =
-      Concurrent.run_toplevel eng ?policy ~space:parent_space alternatives
+      Concurrent.run_toplevel eng ?policy ~space:parent_space ?exclusive
+        alternatives
     in
     let first_solution, winner_branch =
       match report.Concurrent.outcome with

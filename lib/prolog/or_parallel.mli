@@ -33,6 +33,7 @@ val solve_sim :
   ?model:Cost_model.t ->
   ?cores:Engine.cores ->
   ?policy:Concurrent.policy ->
+  ?exclusive:bool ->
   ?inference_cost:float ->
   ?heap_bytes:int ->
   ?seed:int ->
@@ -44,7 +45,13 @@ val solve_sim :
     virtual CPU time; [heap_bytes] (default 256 KiB) sizes the parent
     process image whose pages the branches share copy-on-write; each
     branch write-touches a stack/trail-like region proportional to its
-    inference count (high locality, as section 7 argues). *)
+    inference count (high locality, as section 7 argues).
+
+    [exclusive] is passed through to {!Concurrent.run_toplevel}: under a
+    [Consensus] policy it elides the voter group when the branches have
+    been {e proven} mutually exclusive. It is deliberately a parameter —
+    obtain it from [Lint.proven_exclusive db goal] (the lint library sits
+    above this one); never assert it by hand. *)
 
 type real_report = {
   value : (int * Term.t) list option;

@@ -19,15 +19,23 @@ type event =
   | Partitioned of { left : string list; right : string list }
   | Healed of { left : string list; right : string list }
   | Recovered of { failed : Pid.t; successor : Pid.t; epoch : int }
+  | Sanitizer_flag of { check : string; pid : Pid.t option; detail : string }
   | Note of string
 
-type t = { mutable events : (float * event) list; mutable enabled : bool }
+type t = {
+  mutable events : (float * event) list;
+  mutable enabled : bool;
+  mutable observer : (time:float -> event -> unit) option;
+}
 
-let create ?(enabled = true) () = { events = []; enabled }
+let create ?(enabled = true) () = { events = []; enabled; observer = None }
 let enabled t = t.enabled
 let set_enabled t b = t.enabled <- b
+let set_observer t f = t.observer <- f
 
-let record t ~time e = if t.enabled then t.events <- (time, e) :: t.events
+let record t ~time e =
+  if t.enabled then t.events <- (time, e) :: t.events;
+  match t.observer with Some f -> f ~time e | None -> ()
 
 let events t = List.rev t.events
 
@@ -90,6 +98,12 @@ let pp_event ppf = function
   | Recovered { failed; successor; epoch } ->
     Format.fprintf ppf "recover coordinator %a -> %a (epoch %d)" Pid.pp failed
       Pid.pp successor epoch
+  | Sanitizer_flag { check; pid; detail } ->
+    Format.fprintf ppf "sanitizer %s%s: %s" check
+      (match pid with
+      | None -> ""
+      | Some p -> Format.asprintf " %a" Pid.pp p)
+      detail
   | Note s -> Format.fprintf ppf "note: %s" s
 
 let dump ppf t =
@@ -209,6 +223,11 @@ let json_fields_of_event = function
     ( "recovered",
       Printf.sprintf "\"failed\":%s,\"successor\":%s,\"epoch\":%d"
         (json_pid failed) (json_pid successor) epoch )
+  | Sanitizer_flag { check; pid; detail } ->
+    ( "sanitizer_flag",
+      Printf.sprintf "\"check\":%s,\"pid\":%s,\"detail\":%s" (json_str check)
+        (match pid with None -> "null" | Some p -> json_pid p)
+        (json_str detail) )
   | Note s -> ("note", Printf.sprintf "\"text\":%s" (json_str s))
 
 let event_to_json ~time e =

@@ -49,6 +49,12 @@ type event =
       (** The coordinator watchdog restarted a dead block coordinator
           [failed] from its checkpoint as [successor], fencing voters to
           [epoch] so the stale incarnation can no longer win. *)
+  | Sanitizer_flag of { check : string; pid : Pid.t option; detail : string }
+      (** The online sanitizer ({!Sanitizer} in the analysis layer) caught
+          an invariant violation {e while it happened}: [check] is the
+          {!Report.class_name} of the invariant family, [pid] the process
+          caught in the act, and the event's timestamp is the exact virtual
+          time of the offence. Never emitted by the engine itself. *)
   | Note of string
 
 type t
@@ -58,6 +64,15 @@ val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
 val record : t -> time:float -> event -> unit
+
+val set_observer : t -> (time:float -> event -> unit) option -> unit
+(** Install (or clear) an online observer: called on every {!record},
+    {e even when recording is disabled}, so a streaming monitor can watch
+    an execution whose trace is switched off to bound memory. The observer
+    runs after the event is stored; it may itself call {!record} (the
+    sanitizer appends {!Sanitizer_flag} events this way) but must guard
+    against reacting to its own events. {!replace} and {!clear} do not
+    notify the observer: they rewrite history rather than extend it. *)
 
 val events : t -> (float * event) list
 (** All recorded events, oldest first. *)

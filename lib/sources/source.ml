@@ -11,6 +11,8 @@ type t = {
   buffers : (Pid.t, string list ref) Hashtbl.t;  (* speculative writes, newest first *)
   gated : (Pid.t, unit) Hashtbl.t;  (* pids with a resolution watcher armed *)
   mutable discarded_ : int;
+  mutable emission_hook :
+    (time:float -> pid:Pid.t -> line:string -> certain:bool -> unit) option;
 }
 
 let create engine ~name =
@@ -25,13 +27,19 @@ let create engine ~name =
     buffers = Hashtbl.create 16;
     gated = Hashtbl.create 16;
     discarded_ = 0;
+    emission_hook = None;
   }
 
 let name t = t.name_
+let set_emission_hook t f = t.emission_hook <- f
 
 let emit t pid line =
   let certain = Engine.certain_of t.engine pid in
-  t.out <- (Engine.now t.engine, pid, line, certain) :: t.out
+  let time = Engine.now t.engine in
+  t.out <- (time, pid, line, certain) :: t.out;
+  match t.emission_hook with
+  | Some f -> f ~time ~pid ~line ~certain
+  | None -> ()
 
 let flush_pid t pid =
   match Hashtbl.find_opt t.buffers pid with
@@ -89,6 +97,8 @@ let read ctx t =
   value
 
 let feed t lines = t.script <- t.script @ lines
+
+let force_flush t pid = flush_pid t pid
 
 let output t = List.rev_map (fun (time, pid, line, _) -> (time, pid, line)) t.out
 let emissions t = List.rev t.out

@@ -37,6 +37,23 @@ val read : Engine.ctx -> t -> string
 val feed : t -> string list -> unit
 (** Append lines to the device's input script. *)
 
+val set_emission_hook :
+  t -> (time:float -> pid:Pid.t -> line:string -> certain:bool -> unit) option ->
+  unit
+(** Install (or clear) an online emission observer: called the instant a
+    line reaches the device, with the emitter and whether it was certain
+    at that moment. The analysis layer's sanitizer watches for
+    [certain = false] — an uncertain emission is a violation of the
+    paper's source rule {e as it happens}, not just in the post-mortem
+    {!emissions} audit. *)
+
+val force_flush : t -> Pid.t -> unit
+(** Flush [pid]'s buffered speculative lines {e now}, bypassing the
+    predicate gate. Never called by the runtime: like {!Trace.replace},
+    this exists so the analysis layer's fault-seeding tests can corrupt an
+    execution on purpose (emitting while uncertain) and confirm both the
+    sanitizer and the post-mortem checker catch it. *)
+
 val output : t -> (float * Pid.t * string) list
 (** Lines actually emitted, oldest first, with emission time and the
     process that (eventually) owned them. *)

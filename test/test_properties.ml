@@ -287,6 +287,79 @@ let prop_quorum_matches_majority =
         false
       | None, Some _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Predicate algebra laws. The lint analyzer and the message-acceptance
+   path both lean on [implies]/[conflicts]/[conjoin] being a well-behaved
+   partial order over assumption sets; check the laws on random
+   predicates (pids drawn from a shared small pool, so opposite-side
+   collisions — i.e. conflicts — actually occur).                       *)
+
+let pred_arb =
+  QCheck.make ~print:Predicate.to_string
+    QCheck.Gen.(
+      let pool lo hi = list_size (int_range 0 4) (int_range lo hi) in
+      let* cs = pool 0 7 in
+      let* fs = pool 0 7 in
+      let cs = List.sort_uniq compare cs in
+      let fs =
+        List.filter (fun x -> not (List.mem x cs)) (List.sort_uniq compare fs)
+      in
+      return
+        (Predicate.make
+           ~must_complete:(List.map Pid.of_int cs)
+           ~must_fail:(List.map Pid.of_int fs)))
+
+let prop_implies_reflexive =
+  QCheck.Test.make ~name:"implies is reflexive" ~count:200 pred_arb (fun q ->
+      Predicate.implies q q)
+
+let prop_implies_antisymmetric =
+  QCheck.Test.make ~name:"implies is antisymmetric (under interning)"
+    ~count:500
+    (QCheck.pair pred_arb pred_arb)
+    (fun (a, b) ->
+      QCheck.assume (Predicate.implies a b && Predicate.implies b a);
+      Predicate.equal a b)
+
+let prop_implies_transitive =
+  QCheck.Test.make ~name:"implies is transitive" ~count:500
+    (QCheck.triple pred_arb pred_arb pred_arb)
+    (fun (a, b, c) ->
+      QCheck.assume (Predicate.implies a b && Predicate.implies b c);
+      Predicate.implies a c)
+
+let prop_conflicts_symmetric =
+  QCheck.Test.make ~name:"conflicts is symmetric" ~count:500
+    (QCheck.pair pred_arb pred_arb)
+    (fun (a, b) -> Predicate.conflicts a b = Predicate.conflicts b a)
+
+let prop_conjoin_is_join =
+  QCheck.Test.make
+    ~name:"conjoin is the least upper bound of non-conflicting predicates"
+    ~count:500
+    (QCheck.pair pred_arb pred_arb)
+    (fun (a, b) ->
+      QCheck.assume (not (Predicate.conflicts a b));
+      let c = Predicate.conjoin a b in
+      Predicate.implies c a && Predicate.implies c b
+      && Predicate.equal c (Predicate.conjoin b a)
+      && Predicate.equal (Predicate.conjoin a a) a)
+
+let prop_assume_resolve_roundtrip =
+  QCheck.Test.make ~name:"assume then resolve round-trips" ~count:500
+    (QCheck.pair pred_arb (QCheck.int_range 20 27))
+    (fun (q, n) ->
+      let pid = Pid.of_int n in
+      let stronger = Predicate.assume_completes q pid in
+      Predicate.implies stronger q
+      && (match Predicate.resolve stronger ~pid ~fate:Predicate.Completed with
+         | Predicate.Simplified q' -> Predicate.equal q' q
+         | _ -> false)
+      &&
+      match Predicate.resolve stronger ~pid ~fate:Predicate.Failed with
+      | Predicate.Falsified -> true
+      | _ -> false)
+
 let () =
   Alcotest.run "properties"
     [
@@ -298,5 +371,15 @@ let () =
             prop_worlds_observer_consistent;
             prop_consensus_exclusive;
             prop_quorum_matches_majority;
+          ] );
+      ( "predicate algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_implies_reflexive;
+            prop_implies_antisymmetric;
+            prop_implies_transitive;
+            prop_conflicts_symmetric;
+            prop_conjoin_is_join;
+            prop_assume_resolve_roundtrip;
           ] );
     ]

@@ -1,0 +1,203 @@
+(* Tests for altsan: the online happens-before sanitizer. Each corruption
+   is seeded while the sanitizer watches, so the tests prove the flags are
+   raised *at the offending event* (with virtual-time/pid coordinates),
+   and cross-validated against the post-mortem oracle. *)
+
+let check = Alcotest.check
+
+let has_class cls flags =
+  List.exists (fun f -> f.Sanitizer.sf_class = cls) flags
+
+let oracle_has cls vs = List.exists (fun v -> v.Report.check = cls) vs
+
+(* ---------------- uncertain source emission, caught at emission ------- *)
+
+(* A speculative alternative writes the teletype and then forces a device
+   flush before its predicates resolve — the paper's forbidden
+   source-interaction, seeded deliberately. *)
+let rogue_teletype : Invariants.scenario =
+  {
+    Invariants.sc_name = "rogue-teletype";
+    uses_source = true;
+    source_script = [];
+    prepare = (fun _ _ -> ());
+    alts =
+      (fun _eng ~seed:_ ~source ->
+        let src = Option.get source in
+        [
+          Alternative.make ~name:"rogue" (fun ctx ->
+              Engine.delay ctx 0.002;
+              Source.write ctx src "rogue output";
+              Source.force_flush src (Engine.self ctx);
+              Engine.delay ctx 0.001;
+              0);
+          Alternative.make ~name:"slow" (fun ctx ->
+              Engine.delay ctx 0.01;
+              1);
+        ]);
+  }
+
+let test_emission_caught_online () =
+  let rr, violations =
+    Invariants.run_checked ~sanitize:true rogue_teletype
+      ~policy:Concurrent.default_policy ~seed:1
+  in
+  let sz = Option.get rr.Invariants.sanitizer in
+  let flags = Sanitizer.flags sz in
+  check Alcotest.bool "sanitizer flagged the emission" true
+    (has_class Report.Sources flags);
+  let f = List.find (fun f -> f.Sanitizer.sf_class = Report.Sources) flags in
+  check Alcotest.bool "flag carries the virtual time" true
+    (f.Sanitizer.sf_time > 0.);
+  check Alcotest.bool "flag names the offending pid" true
+    (f.Sanitizer.sf_pid <> None);
+  (* The rendered violation exposes the exact coordinates. *)
+  let rendered =
+    Sanitizer.violations sz ~scenario:"rogue-teletype" ~policy:"p" ~seed:1
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let v = List.find (fun v -> v.Report.check = Report.Sources) rendered in
+  check Alcotest.bool "detail has [t=...]" true (contains v.Report.detail "[t=");
+  check Alcotest.bool "detail has pid=" true (contains v.Report.detail "pid=");
+  (* Post-mortem parity: the oracle sees the same offence, so the
+     crosscheck appended no divergence. *)
+  check Alcotest.bool "oracle agrees" true (oracle_has Report.Sources violations);
+  check Alcotest.bool "no sanitizer/oracle divergence" false
+    (oracle_has Report.Sanitizer violations)
+
+(* ---------------- forged second win, caught at the event -------------- *)
+
+let test_forged_win_caught_online () =
+  let counters = List.hd Invariants.default_scenarios in
+  let rr =
+    Invariants.run_scenario ~sanitize:true counters
+      ~policy:Concurrent.default_policy ~seed:1
+  in
+  let sz = Option.get rr.Invariants.sanitizer in
+  check Alcotest.int "clean run carries no flags" 0 (Sanitizer.flag_count sz);
+  (* Forge a duplicate latch win while the observer is still attached:
+     the flag must fire at the Trace.record call itself. *)
+  let winner = Option.get rr.Invariants.report.Concurrent.winner in
+  let eng = rr.Invariants.engine in
+  Trace.record (Engine.trace eng) ~time:(Engine.now eng)
+    (Trace.Sync_won { pid = winner; index = 99; epoch = 0 });
+  check Alcotest.bool "flagged at the forged event" true
+    (has_class Report.At_most_once (Sanitizer.flags sz));
+  Sanitizer.detach sz;
+  (* The post-mortem oracle, replaying the same (corrupted) trace, agrees
+     — so the crosscheck records no divergence. *)
+  let oracle = Invariants.check_all rr in
+  check Alcotest.bool "oracle sees the duplicate win" true
+    (oracle_has Report.At_most_once oracle);
+  let div =
+    Sanitizer.crosscheck sz ~oracle ~scenario:"counters" ~policy:"p" ~seed:1
+  in
+  check Alcotest.int "crosscheck is clean" 0 (List.length div)
+
+(* ---------------- shared-space write race, caught at the write -------- *)
+
+let test_shared_space_caught_at_write () =
+  let eng = Engine.create ~seed:3 () in
+  let sz = Sanitizer.attach eng in
+  let sp =
+    Address_space.create ~size_hint:4096 (Engine.frame_store eng)
+      (Engine.model eng)
+  in
+  Address_space.set_tracking sp true;
+  let p1 =
+    Engine.spawn eng ~space:sp (fun ctx ->
+        Engine.delay ctx 0.001;
+        Address_space.write_bytes sp ~addr:0 (Bytes.make 16 'x'))
+  in
+  let p2 =
+    Engine.spawn eng ~space:sp (fun ctx ->
+        Engine.delay ctx 0.002;
+        Address_space.write_bytes sp ~addr:256 (Bytes.make 16 'y'))
+  in
+  Engine.run eng;
+  Sanitizer.detach sz;
+  check Alcotest.bool "isolation race flagged online" true
+    (has_class Report.Isolation (Sanitizer.flags sz));
+  let f = List.find (fun f -> f.Sanitizer.sf_class = Report.Isolation)
+      (Sanitizer.flags sz)
+  in
+  check Alcotest.bool "flagged while both writers were live" true
+    (f.Sanitizer.sf_time >= 0.001 && f.Sanitizer.sf_time <= 0.002);
+  (* Oracle parity on the same run. *)
+  let oracle =
+    Race.check_isolation eng ~children:[ p1; p2 ] ~scenario:"shared"
+      ~policy:"p" ~seed:3
+  in
+  check Alcotest.bool "post-mortem oracle agrees" true
+    (oracle_has Report.Isolation oracle);
+  let div =
+    Sanitizer.crosscheck sz ~oracle ~scenario:"shared" ~policy:"p" ~seed:3
+  in
+  check Alcotest.int "crosscheck is clean" 0 (List.length div)
+
+(* ---------------- bounded state on long runs ------------------------- *)
+
+let churn n =
+  let eng = Engine.create ~trace:false ~seed:5 () in
+  let sz = Sanitizer.attach eng in
+  ignore
+    (Engine.spawn eng (fun ctx ->
+         let self = Engine.self ctx in
+         let e = Engine.engine ctx in
+         for _ = 1 to n do
+           ignore
+             (Engine.spawn e ~parent:self (fun c ->
+                  Engine.send c self (Payload.int 1)));
+           ignore (Engine.receive ctx ())
+         done));
+  Engine.run eng;
+  Sanitizer.detach sz;
+  (Sanitizer.state_size sz, Sanitizer.flag_count sz)
+
+let test_bounded_state () =
+  (* The trace is disabled (History would be empty) yet the observer still
+     streams every event; state must track the live set, not run length. *)
+  let s20, f20 = churn 20 in
+  let s200, f200 = churn 200 in
+  check Alcotest.int "no flags on clean churn" 0 (f20 + f200);
+  check Alcotest.int "state independent of run length" s20 s200
+
+(* ---------------- clean sweeps are unchanged -------------------------- *)
+
+let test_clean_run_parity () =
+  let counters = List.hd Invariants.default_scenarios in
+  let policy = Concurrent.default_policy in
+  let _, plain = Invariants.run_checked counters ~policy ~seed:2 in
+  let rr, sanitized =
+    Invariants.run_checked ~sanitize:true counters ~policy ~seed:2
+  in
+  check Alcotest.int "plain run is clean" 0 (List.length plain);
+  check Alcotest.int "sanitized run adds nothing" 0 (List.length sanitized);
+  check Alcotest.int "no online flags" 0
+    (Sanitizer.flag_count (Option.get rr.Invariants.sanitizer))
+
+let () =
+  Alcotest.run "sanitizer"
+    [
+      ( "online",
+        [
+          Alcotest.test_case "uncertain emission caught at emission" `Quick
+            test_emission_caught_online;
+          Alcotest.test_case "forged win caught at the event" `Quick
+            test_forged_win_caught_online;
+          Alcotest.test_case "shared-space race caught at the write" `Quick
+            test_shared_space_caught_at_write;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "bounded state" `Quick test_bounded_state;
+          Alcotest.test_case "clean runs unchanged" `Quick
+            test_clean_run_parity;
+        ] );
+    ]
