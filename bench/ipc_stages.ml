@@ -1,0 +1,67 @@
+(* IPC hot-path cost decomposition: times each configuration over [rounds]
+   fresh engines of [n] messages. *)
+let time_config name n rounds f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    f n
+  done;
+  let t1 = Unix.gettimeofday () in
+  let total = n * rounds in
+  Printf.printf "%-28s %9.0f ops/s  (%5.0f ns/op)\n%!" name
+    (float_of_int total /. (t1 -. t0))
+    ((t1 -. t0) /. float_of_int total *. 1e9)
+
+(* send into a nonexistent pid: send + flush-drain-remove only *)
+let bench_send_drop n =
+  let eng = Engine.create ~trace:false () in
+  let ghost = Pid.of_int 999_999 in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         for i = 1 to n do
+           Engine.send ctx ghost (Payload.int i)
+         done));
+  Engine.run eng
+
+(* send to a live receiver that never scans: send + deliver *)
+let bench_send_deliver n =
+  let eng = Engine.create ~trace:false () in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        Engine.delay ctx 1e9)
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         for i = 1 to n do
+           Engine.send ctx receiver (Payload.int i)
+         done));
+  Engine.run eng
+
+(* the full pair *)
+let bench_full n =
+  let eng = Engine.create ~trace:false () in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        for _ = 1 to n do
+          ignore (Engine.receive ctx ())
+        done)
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         for i = 1 to n do
+           Engine.send ctx receiver (Payload.int i)
+         done));
+  Engine.run eng
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 20_000 in
+  let rounds = try int_of_string Sys.argv.(2) with _ -> 100 in
+  time_config "send+drop (no dest)" n rounds bench_send_drop;
+  time_config "send+deliver (no recv)" n rounds bench_send_deliver;
+  time_config "send+deliver+receive" n rounds bench_full
+
+(* cold, single-shot, as altbench measures it *)
+let () =
+  if Array.length Sys.argv > 3 then begin
+    let n = int_of_string Sys.argv.(1) in
+    time_config "full, cold single round" n 1 bench_full
+  end

@@ -42,6 +42,7 @@ type t = {
   partitions : (string list * string list) list;
   heals : (string list * string list) list;
   recoveries : (Pid.t * Pid.t * int) list;
+  delivery_batches : (Pid.t * Pid.t * int) list;  (* sender, dest, count *)
 }
 
 let of_trace trace =
@@ -54,6 +55,7 @@ let of_trace trace =
   let injections = ref [] and degradations = ref [] in
   let site_crashes = ref [] and partitions = ref [] and heals = ref [] in
   let recoveries = ref [] in
+  let batches = ref [] in
   List.iter
     (fun (_, e) ->
       match e with
@@ -83,6 +85,11 @@ let of_trace trace =
       | Trace.Healed { left; right } -> heals := (left, right) :: !heals
       | Trace.Recovered { failed; successor; epoch } ->
         recoveries := (failed, successor, epoch) :: !recoveries
+      | Trace.Delivered_batch { sender; dest; count } ->
+        (* Batching is a scheduling detail: the per-message Delivered /
+           Accepted records that follow the batch event carry the
+           semantics. Kept only as an observability digest. *)
+        batches := (sender, dest, count) :: !batches
       | Trace.Started _ | Trace.Delivered _ | Trace.Ignored _ | Trace.Split _
       | Trace.Fate_deferred _ | Trace.Sanitizer_flag _ | Trace.Note _ -> ())
     (Trace.events trace);
@@ -104,6 +111,7 @@ let of_trace trace =
     partitions = List.rev !partitions;
     heals = List.rev !heals;
     recoveries = List.rev !recoveries;
+    delivery_batches = List.rev !batches;
   }
 
 let name_of t pid = Option.map snd (Hashtbl.find_opt t.spawns pid)
@@ -124,6 +132,7 @@ let site_crashes t = t.site_crashes
 let partitions t = t.partitions
 let heals t = t.heals
 let recoveries t = t.recoveries
+let delivery_batches t = t.delivery_batches
 let faulted t = t.injections <> []
 
 let count_sent_tag t ~tag =

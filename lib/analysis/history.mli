@@ -84,6 +84,12 @@ val recoveries : t -> (Pid.t * Pid.t * int) list
 (** [(failed coordinator, successor, new epoch)] of every [Recovered]
     event, in order. *)
 
+val delivery_batches : t -> (Pid.t * Pid.t * int) list
+(** [(sender, dest, count)] of every [Delivered_batch] event, in order: a
+    digest of how the engine coalesced same-instant deliveries. Purely
+    observational — the semantic record of each delivery is still its own
+    [Delivered] / [Accepted] event — so no invariant keys on it. *)
+
 val faulted : t -> bool
 (** At least one injection took effect. Checkers use this to decide whether
     a failure outcome may be excused by the campaign. *)

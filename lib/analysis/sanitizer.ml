@@ -261,6 +261,9 @@ let on_event t ~time:_ e =
         Hashtbl.remove t.clocks pid
       end)
   | Trace.Killed { pid; _ } -> Hashtbl.replace t.dead pid ()
+  (* [Delivered_batch] falls through here by design: attaching this
+     observer makes the trace live, which forces the engine onto the
+     per-entry delivery path, so sanitized runs never emit it. *)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)

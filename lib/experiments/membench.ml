@@ -130,21 +130,29 @@ let bench_absorb ~mapped ~dirty n =
 (* IPC: one sender streaming messages at a receiver, certain predicates
    throughout (the common case the interning fast paths serve).         *)
 
-let bench_ipc n =
+let ipc_engine n =
   let eng = Engine.create ~trace:false () in
-  let recv_count = ref 0 in
   let receiver =
     Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
         for _ = 1 to n do
           ignore (Engine.receive ctx ())
-        done;
-        recv_count := n)
+        done)
   in
   ignore
     (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
          for i = 1 to n do
            Engine.send ctx receiver (Payload.int i)
          done));
+  eng
+
+let bench_ipc n =
+  (* Warm-up (the harness convention above): a full throwaway run first,
+     so the timed run reuses already-faulted heap pages and warm code
+     paths instead of measuring first-touch page faults. *)
+  let warm = ipc_engine n in
+  Engine.run warm;
+  Gc.full_major ();
+  let eng = ipc_engine n in
   measure "ipc/send_receive" n (fun _ -> Engine.run eng)
 
 (* ------------------------------------------------------------------ *)
@@ -256,4 +264,14 @@ let validate r =
   check
     (a1 < 8. *. float_of_int (page_size / 8))
     (Printf.sprintf "absorb of 1 dirty page allocates %.0f words (O(mapped)?)" a1);
+  (* The ring-buffer mailboxes put a hard ceiling on the messaging hot
+     path: a send+receive pair may allocate at most the irreducible
+     message-and-payload record cost (the pre-ring engine paid 150+
+     words per pair on this benchmark). *)
+  check
+    (words "ipc/send_receive" < 20.)
+    (Printf.sprintf
+       "ipc/send_receive allocates %.2f minor words/op (ceiling 20: \
+        ring-buffer mailbox regression)"
+       (words "ipc/send_receive"));
   match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,131 @@
+(* A preallocated message frame: one slot of a ring-buffer mailbox.
+
+   The messaging fast path never builds a [Message.t]: a send serialises
+   its payload in place into the destination slot's fixed buffer with the
+   {!Payload} codec and stamps the header fields; a receive decodes the
+   slot back into a payload only at the moment of acceptance. Payloads too
+   large for the slot buffer take the spill path: the frame holds the
+   (immutable) payload value itself. Either way the payload is frozen at
+   send time — the encoded bytes are a snapshot, and a spilled payload
+   cannot be mutated because {!Payload.t} is immutable data.
+
+   Frames are mutable and reused: once a slot is consumed it will be
+   overwritten by a later send. Every delivery therefore deep-copies the
+   frame ([copy_into]) into the destination ring — including duplicate
+   injections, which would otherwise alias their original's slot and read
+   corrupted bytes after the original is consumed and the slot recycled. *)
+
+type t = {
+  mutable occupied : bool;
+  mutable sender : Pid.t;
+  mutable dest : Pid.t;  (* logical destination (pre-world-fanout) *)
+  mutable predicate : Predicate.t;
+  mutable tag : string;
+  mutable seq : int;  (* per-sender sequence number *)
+  mutable uid : int;  (* per-engine send identity; duplicates share it *)
+  mutable size : int;  (* wire size, frozen at send *)
+  mutable len : int;  (* encoded bytes used in [buf]; -1 = spilled *)
+  mutable spill : Payload.t;  (* [Payload.Unit] unless [len = -1] *)
+  mutable cached : Message.t option;
+      (* the materialised message, set at send when tracing (or a fault
+         hook) needs one, so every trace event for this send shares one
+         message value exactly as the heap-allocated path did *)
+  buf : Bytes.t;
+}
+
+let slot_bytes = 64
+
+let nil_pid = Pid.of_int (-1)
+
+let create () =
+  {
+    occupied = false;
+    sender = nil_pid;
+    dest = nil_pid;
+    predicate = Predicate.empty;
+    tag = "";
+    seq = 0;
+    uid = 0;
+    size = 0;
+    len = 0;
+    spill = Payload.Unit;
+    cached = None;
+    buf = Bytes.create slot_bytes;
+  }
+
+(* A single shared never-occupied frame: ring slots that currently hold
+   no pooled frame point at it, so slot arrays can grow without creating
+   a frame (and its buffer) per slot. Never filled. *)
+let dummy = create ()
+
+let occupied fr = fr.occupied
+let sender fr = fr.sender
+let dest fr = fr.dest
+let predicate fr = fr.predicate
+let tag fr = fr.tag
+let seq fr = fr.seq
+let uid fr = fr.uid
+let size fr = fr.size
+let spilled fr = fr.len < 0
+let cached fr = fr.cached
+
+let fill fr ~sender ~dest ~predicate ~tag ~seq ~uid ~size ~cached payload =
+  fr.occupied <- true;
+  fr.sender <- sender;
+  fr.dest <- dest;
+  fr.predicate <- predicate;
+  fr.tag <- tag;
+  fr.seq <- seq;
+  fr.uid <- uid;
+  fr.size <- size;
+  fr.cached <- cached;
+  match Payload.encode_into payload ~buf:fr.buf ~pos:0 with
+  | Some len ->
+    fr.len <- len;
+    fr.spill <- Payload.Unit
+  | None ->
+    fr.len <- -1;
+    fr.spill <- payload
+
+let copy_into src dst =
+  dst.occupied <- true;
+  dst.sender <- src.sender;
+  dst.dest <- src.dest;
+  dst.predicate <- src.predicate;
+  dst.tag <- src.tag;
+  dst.seq <- src.seq;
+  dst.uid <- src.uid;
+  dst.size <- src.size;
+  dst.cached <- src.cached;
+  dst.len <- src.len;
+  if src.len >= 0 then begin
+    Bytes.blit src.buf 0 dst.buf 0 src.len;
+    dst.spill <- Payload.Unit
+  end
+  else dst.spill <- src.spill
+
+let payload fr =
+  if fr.len >= 0 then fst (Payload.decode_from ~buf:fr.buf ~pos:0) else fr.spill
+
+let message fr =
+  match fr.cached with
+  | Some m -> m
+  | None ->
+    {
+      Message.sender = fr.sender;
+      dest = fr.dest;
+      predicate = fr.predicate;
+      payload = payload fr;
+      tag = fr.tag;
+      seq = fr.seq;
+      size = fr.size;
+    }
+
+let clear fr =
+  (* Drop every heap reference so a tombstoned slot cannot retain a dead
+     world's predicate, a large spilled payload, or a traced message. *)
+  fr.occupied <- false;
+  fr.predicate <- Predicate.empty;
+  fr.tag <- "";
+  fr.spill <- Payload.Unit;
+  fr.cached <- None

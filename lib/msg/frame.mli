@@ -1,0 +1,75 @@
+(** A preallocated message frame: one slot of a ring-buffer mailbox.
+
+    The messaging fast path serialises payloads in place into a fixed
+    per-slot buffer ({!slot_bytes} wide) with the {!Payload} codec instead
+    of heap-allocating a {!Message.t} per send. Payloads that do not fit
+    take the spill path: the frame keeps the immutable payload value.
+    Either way the payload is frozen at send time.
+
+    Frames are mutable and recycled, so anything that must outlive the
+    slot (a delivery, a duplicate injection) deep-copies with
+    {!copy_into}. *)
+
+type t
+
+val slot_bytes : int
+(** Fixed size of each slot's inline payload buffer. *)
+
+val create : unit -> t
+(** A fresh, unoccupied frame with its own buffer. *)
+
+val dummy : t
+(** A single shared, never-occupied placeholder frame. Ring slots that
+    hold no pooled frame point at it so slot arrays stay one word per
+    slot. Must never be filled. *)
+
+val occupied : t -> bool
+val sender : t -> Pid.t
+val dest : t -> Pid.t
+val predicate : t -> Predicate.t
+val tag : t -> string
+val seq : t -> int
+
+val uid : t -> int
+(** Engine-global send identity. Deliveries and duplicates of one send
+    share a uid; world-split mailbox filtering keys on it. *)
+
+val size : t -> int
+(** Wire size of the message, frozen at send time. *)
+
+val spilled : t -> bool
+(** True when the payload did not fit inline and is held boxed. *)
+
+val cached : t -> Message.t option
+
+val fill :
+  t ->
+  sender:Pid.t ->
+  dest:Pid.t ->
+  predicate:Predicate.t ->
+  tag:string ->
+  seq:int ->
+  uid:int ->
+  size:int ->
+  cached:Message.t option ->
+  Payload.t ->
+  unit
+(** Stamp the header fields and serialise the payload into the slot
+    (spilling if oversized). [cached] carries the materialised message
+    when tracing or fault hooks need one, so every event for this send
+    shares a single message value. *)
+
+val copy_into : t -> t -> unit
+(** [copy_into src dst] deep-copies [src] into [dst]: header fields plus
+    the encoded payload bytes. After the copy, mutating or recycling
+    [src]'s slot cannot affect [dst]. *)
+
+val payload : t -> Payload.t
+(** Decode the payload (or return the spilled value). *)
+
+val message : t -> Message.t
+(** Materialise a {!Message.t} view: the cached one if present, otherwise
+    a fresh record decoded from the slot. *)
+
+val clear : t -> unit
+(** Mark unoccupied and drop every heap reference the slot holds. *)

@@ -16,6 +16,12 @@ type t = {
   size : int;  (** Wire size, computed once at construction. *)
 }
 
+val header_bytes : int
+(** Fixed per-message header estimate added to the payload size. Exposed
+    so the engine's ring-buffer send path — which builds message records
+    directly around preallocated frames — prices messages identically to
+    {!make}. *)
+
 val make :
   sender:Pid.t ->
   dest:Pid.t ->

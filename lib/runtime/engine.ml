@@ -47,7 +47,8 @@ type pcb = {
   mutable park : park option;
   mutable predicate : Predicate.t;
   space : Address_space.t option;
-  mutable mailbox : Message.t list;  (* arrival order *)
+  mutable mailbox : Mailbox.t;  (* ring of frames, arrival order *)
+  mutable last_chan : channel option;  (* last outbound channel, a cache *)
   mutable doomed : string option;
   mutable cloneable : bool;
   mutable log : log_entry list;  (* newest first *)
@@ -63,6 +64,35 @@ type pcb = {
 and ctx = { engine : t; pcb : pcb }
 
 and event = { mutable dead_ev : bool; run_ev : unit -> unit }
+
+(* One (sender, logical dest) messaging channel: the per-sender FIFO
+   clock, a ring-buffer outbox of in-flight frames, and the state of the
+   currently open delivery batch.
+
+   A batch is a single scheduled event that will hand a contiguous run of
+   outbox frames to the receiver in one step. A later send may join the
+   open batch only if (a) it is due at exactly the batch's flush time and
+   (b) the event queue's stamp has not moved since the batch last grew —
+   i.e. nothing else was scheduled in between, so no event can possibly
+   order between the batch's members and global (time, seq) order is
+   preserved exactly as if each message had its own event. *)
+and channel = {
+  ch_sender : Pid.t;
+  ch_dest : Pid.t;  (* logical destination *)
+  outbox : Mailbox.t;
+  ch_clock : floatarray;
+      (* [0] = last scheduled delivery time (the per-sender FIFO clock),
+         [1] = the open batch's flush time. A flat float pair rather than
+         two mutable fields of this mixed record, so the send fast path
+         stores and compares times without boxing a float per message. *)
+  mutable ch_open : bool;
+  mutable ch_watermark : int;  (* Event_queue.stamp when the batch last grew *)
+  mutable ch_upto : upto;
+}
+
+(* The open batch's end position, shared with the scheduled flush closure
+   so joins can extend the batch without touching the event queue. *)
+and upto = { mutable u : int }
 
 and fault_action =
   | F_deliver
@@ -88,7 +118,9 @@ and t = {
   mutable cpu_gen : int;
   mutable cpu_last : float;
   mutable cpu_tick_ev : event option;
-  channels : (Pid.t * Pid.t, float) Hashtbl.t;  (* last delivery per channel *)
+  channels : (Pid.t * Pid.t, channel) Hashtbl.t;
+  mutable next_uid : int;  (* engine-global send identity *)
+  mutable mailbox_scanned : int;  (* slots visited by receive scans *)
   mutable events_processed : int;
   mutable live : int;
   mutable deferred : Pid.t list;  (* exited ok, fate deferred on predicates *)
@@ -107,10 +139,13 @@ and t = {
   mutable delivery_fault : (Message.t -> dest:Pid.t -> bool) option;
 }
 
+(* Send and the receive fast paths no longer go through effects at all:
+   [send] runs entirely in the caller's frame, and [receive] /
+   [receive_timeout] only perform an effect to park when nothing in the
+   mailbox is acceptable right now. *)
 type _ Effect.t +=
   | E_delay : float -> unit Effect.t
   | E_now : float Effect.t
-  | E_send : (Pid.t * string * Payload.t) -> unit Effect.t
   | E_recv : string option -> Message.t Effect.t
   | E_recv_timeout : string option * float -> Message.t option Effect.t
   | E_random : int64 Effect.t
@@ -136,6 +171,8 @@ let create ?(cores = Infinite) ?(model = Cost_model.uniform ()) ?(seed = 42)
     cpu_last = 0.;
     cpu_tick_ev = None;
     channels = Hashtbl.create 64;
+    next_uid = 0;
+    mailbox_scanned = 0;
     events_processed = 0;
     live = 0;
     deferred = [];
@@ -159,6 +196,7 @@ let frame_store t = t.store
 let trace t = t.trace_
 let registry t = t.reg
 let stats_events_processed t = t.events_processed
+let stats_mailbox_scanned t = t.mailbox_scanned
 
 let schedule_cancellable t ~at thunk =
   let ev = { dead_ev = false; run_ev = thunk } in
@@ -448,69 +486,153 @@ and sweep t =
 (* ------------------------------------------------------------------ *)
 (* Message scanning: accept / ignore / split (section 3.4.2).          *)
 
-and try_receive t pcb tag : Message.t option =
-  (* Walk the mailbox in order; honour per-sender FIFO when deferring.
-     [blocked] (senders we must not overtake) is threaded as a list so the
-     common no-deferral scan allocates nothing. *)
-  let rec scan blocked acc = function
-    | [] ->
-      pcb.mailbox <- List.rev acc;
-      None
-    | m :: rest ->
-      let skip () = scan blocked (m :: acc) rest in
+and try_receive t pcb tag : Message.t =
+  (* Returns [Mailbox.no_message] (physical compare) when nothing is
+     acceptable: the receive fast path runs once per message, so the
+     sentinel saves an option cell per delivered message. *)
+  let ring = pcb.mailbox in
+  if Mailbox.is_empty ring then Mailbox.no_message
+  else begin
+    (* A tag-filtered receive starts at the ring's per-tag cursor: every
+       position before it is known to hold no live frame with this tag, so
+       repeated polls do not re-scan foreign traffic (the old list scan
+       was quadratic in exactly that case). The cursor may be behind the
+       head after consumptions; clamp it forward. *)
+    let cur =
+      match tag with
+      | None -> None
+      | Some wanted ->
+        let c = Mailbox.cursor ring wanted in
+        if c.Mailbox.cpos < Mailbox.head_pos ring then
+          c.Mailbox.cpos <- Mailbox.head_pos ring;
+        Some c
+    in
+    let start =
+      match cur with None -> Mailbox.head_pos ring | Some c -> c.Mailbox.cpos
+    in
+    scan_mailbox t pcb ring tag cur [] start true
+  end
+
+(* Walk the ring in position order; honour per-sender FIFO when deferring.
+   [blocked] (senders we must not overtake) is threaded as a list so the
+   common no-deferral scan allocates nothing. [prefix] is true while every
+   slot visited so far was a tombstone or tag-foreign, i.e. while the
+   per-tag cursor may still advance over them. A top-level function rather
+   than an inner closure: the receive fast path allocates nothing. The
+   position-indexed accessors hide whether an entry is framed or spilled. *)
+and scan_mailbox t pcb ring tag cur blocked pos prefix : Message.t =
+  if pos >= Mailbox.tail_pos ring then Mailbox.no_message
+  else begin
+    t.mailbox_scanned <- t.mailbox_scanned + 1;
+    if not (Mailbox.occupied_at ring pos) then begin
+      advance_cursor cur pos prefix;
+      scan_mailbox t pcb ring tag cur blocked (pos + 1) prefix
+    end
+    else
       let matches_tag =
-        match tag with None -> true | Some wanted -> String.equal m.Message.tag wanted
+        match tag with
+        | None -> true
+        | Some wanted -> String.equal (Mailbox.tag_at ring pos) wanted
       in
-      if not matches_tag then skip ()
+      if not matches_tag then begin
+        advance_cursor cur pos prefix;
+        scan_mailbox t pcb ring tag cur blocked (pos + 1) prefix
+      end
       else if pcb.oblivious then begin
         (* Kernel-level services (consensus voters, devices) accept every
            message: they are part of process management, not of any world. *)
-        tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
-        pcb.mailbox <- List.rev_append acc rest;
-        Some m
+        let m = Mailbox.message_at ring pos in
+        if Trace.live t.trace_ then
+          tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
+        Mailbox.remove ring pos;
+        m
       end
       else if
-        (* Empty-list check first: no closure is built unless a sender has
+        (* Empty-list check first: nothing is examined unless a sender has
            actually been deferred during this scan. *)
         (match blocked with
         | [] -> false
-        | _ -> List.exists (Pid.equal m.Message.sender) blocked)
-      then skip ()
+        | _ -> List.exists (Pid.equal (Mailbox.sender_at ring pos)) blocked)
+      then scan_mailbox t pcb ring tag cur blocked (pos + 1) false
       else begin
-        match Fate_registry.normalize t.reg m.Message.predicate with
-        | `Dead ->
-          (* The sender's world died: the message never happened. *)
-          tr t (Trace.Ignored { dest = pcb.pid; msg = m; reason = "dead world" });
-          scan blocked acc rest
-        | `Live s ->
-          if Predicate.implies pcb.predicate s then begin
-            tr t (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
-            pcb.mailbox <- List.rev_append acc rest;
-            Some m
-          end
-          else if Predicate.conflicts pcb.predicate s then begin
-            tr t (Trace.Ignored { dest = pcb.pid; msg = m; reason = "conflict" });
-            scan blocked acc rest
-          end
-          else begin
-            (* The message requires new assumptions. *)
-            match accept_with_split t pcb m s with
-            | `Accepted ->
-              pcb.mailbox <- List.rev_append acc rest;
-              Some m
-            | `Deferred ->
-              (* Keep waiting: do not overtake this sender (FIFO). *)
-              scan (m.Message.sender :: blocked) (m :: acc) rest
-          end
+        let spred = Mailbox.predicate_at ring pos in
+        if Predicate.is_certain spred then begin
+          (* The overwhelmingly common case: a sender with no unresolved
+             assumptions. Normalisation would return the predicate
+             unchanged and the receiver trivially implies it, so accept
+             directly without allocating the `Live wrapper. *)
+          let m = Mailbox.message_at ring pos in
+          if Trace.live t.trace_ then
+            tr t
+              (Trace.Accepted { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
+          Mailbox.remove ring pos;
+          m
+        end
+        else
+          match Fate_registry.normalize t.reg spred with
+          | `Dead ->
+            (* The sender's world died: the message never happened. *)
+            if Trace.live t.trace_ then
+              tr t
+                (Trace.Ignored
+                   {
+                     dest = pcb.pid;
+                     msg = Mailbox.message_at ring pos;
+                     reason = "dead world";
+                   });
+            Mailbox.remove ring pos;
+            advance_cursor cur pos prefix;
+            scan_mailbox t pcb ring tag cur blocked (pos + 1) prefix
+          | `Live s ->
+            if Predicate.implies pcb.predicate s then begin
+              let m = Mailbox.message_at ring pos in
+              if Trace.live t.trace_ then
+                tr t
+                  (Trace.Accepted
+                     { dest = pcb.pid; msg = m; dest_pred = pcb.predicate });
+              Mailbox.remove ring pos;
+              m
+            end
+            else if Predicate.conflicts pcb.predicate s then begin
+              if Trace.live t.trace_ then
+                tr t
+                  (Trace.Ignored
+                     {
+                       dest = pcb.pid;
+                       msg = Mailbox.message_at ring pos;
+                       reason = "conflict";
+                     });
+              Mailbox.remove ring pos;
+              advance_cursor cur pos prefix;
+              scan_mailbox t pcb ring tag cur blocked (pos + 1) prefix
+            end
+            else begin
+              (* The message requires new assumptions. *)
+              match accept_with_split t pcb ring pos s with
+              | Some m ->
+                Mailbox.remove ring pos;
+                m
+              | None ->
+                (* Keep waiting: do not overtake this sender (FIFO). *)
+                scan_mailbox t pcb ring tag cur
+                  (Mailbox.sender_at ring pos :: blocked)
+                  (pos + 1) false
+            end
       end
-  in
-  scan [] [] pcb.mailbox
+  end
 
-(* Receiver [pcb] is about to accept [m] whose (normalized) sending
-   predicate [s] extends the receiver's assumptions. Create the rejecting
-   world as a replay clone, then let [pcb] proceed as the accepting world. *)
-and accept_with_split t pcb m s =
-  let sender = m.Message.sender in
+and advance_cursor cur pos prefix =
+  if prefix then
+    match cur with None -> () | Some c -> c.Mailbox.cpos <- pos + 1
+
+(* Receiver [pcb] is about to accept the message at [pos] of its ring,
+   whose (normalized) sending predicate [s] extends the receiver's
+   assumptions. Create the rejecting world as a replay clone, then let
+   [pcb] proceed as the accepting world. Returns the accepted message, or
+   [None] to defer; the caller removes the entry from the mailbox on
+   acceptance. *)
+and accept_with_split t pcb ring pos s : Message.t option =
+  let sender = Mailbox.sender_at ring pos in
   let reject_pred =
     if Predicate.mem_completes pcb.predicate sender then None
     else Some (Predicate.assume_fails pcb.predicate sender)
@@ -520,9 +642,11 @@ and accept_with_split t pcb m s =
   | None ->
     (* The receiver already depends on the sender completing; the only new
        assumptions are the sender's own, which acceptance takes on. *)
+    let m = Mailbox.message_at ring pos in
     adopt_sender_assumptions t pcb m s;
-    `Accepted
+    Some m
   | Some reject_pred when can_clone ->
+    let m = Mailbox.message_at ring pos in
     let clone_pid = Pid.Allocator.fresh t.alloc in
     let clone =
       make_pcb t ~pid:clone_pid ~logical:pcb.logical ~parent:pcb.parent
@@ -531,8 +655,14 @@ and accept_with_split t pcb m s =
     in
     clone.replay <- List.rev pcb.log;
     clone.log <- pcb.log;
+    (* The rejecting world keeps everything except the accepted send —
+       keyed by send identity (and by shared message value for spilled
+       entries), so an injected duplicate is excluded along with its
+       original, exactly like the physical-equality filter on the old
+       list mailbox. Framed entries are deep-copied: both worlds may
+       consume their copies independently. *)
     clone.mailbox <-
-      List.filter (fun m' -> not (m' == m)) pcb.mailbox;
+      Mailbox.copy_excluding pcb.mailbox ~uid:(Mailbox.uid_at ring pos) ~msg:m;
     register_world t clone;
     t.live <- t.live + 1;
     (* World copies live wherever the original does: a site crash must take
@@ -544,14 +674,19 @@ and accept_with_split t pcb m s =
     schedule t ~at:(t.vnow +. t.model_.Cost_model.fork_base) (fun () ->
         start_pcb t clone);
     adopt_sender_assumptions t pcb m s;
-    `Accepted
+    Some m
   | Some _ ->
     (* Not cloneable: fall back to deferring until the sender resolves
        (pessimistic but semantics-preserving). *)
-    tr t
-      (Trace.Ignored
-         { dest = pcb.pid; msg = m; reason = "deferred (receiver not cloneable)" });
-    `Deferred
+    if Trace.live t.trace_ then
+      tr t
+        (Trace.Ignored
+           {
+             dest = pcb.pid;
+             msg = Mailbox.message_at ring pos;
+             reason = "deferred (receiver not cloneable)";
+           });
+    None
 
 and adopt_sender_assumptions t pcb m s =
   (* The trace records the predicate the receiver held when it decided to
@@ -568,8 +703,9 @@ and adopt_sender_assumptions t pcb m s =
 
 and rescan_parked t pcb =
   match pcb.park with
-  | Some (Park_recv { tag; wake; _ }) -> (
-    match try_receive t pcb tag with Some m -> wake m | None -> ())
+  | Some (Park_recv { tag; wake; _ }) ->
+    let m = try_receive t pcb tag in
+    if m != Mailbox.no_message then wake m
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -590,7 +726,8 @@ and make_pcb t ~pid ~logical ~parent ~name ~predicate ~space ~cloneable
       park = None;
       predicate;
       space;
-      mailbox = [];
+      mailbox = Mailbox.create ();
+      last_chan = None;
       doomed = None;
       cloneable = cloneable && space = None;
       log = [];
@@ -722,112 +859,77 @@ and run_body t pcb =
                     log_push pcb (L_random v);
                     Effect.Deep.continue k v
                 end)
-          | E_send (dest, tag, payload) ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                if check_doom k then ()
-                else begin
-                  match replay_next pcb with
-                  | Some L_sent -> Effect.Deep.continue k ()
-                  | Some _ ->
-                    Effect.Deep.discontinue k (Replay_divergence "expected send")
-                  | None ->
-                    log_push pcb L_sent;
-                    do_send t pcb ~dest ~tag payload;
-                    Effect.Deep.continue k ()
-                end)
           | E_recv tag ->
+            (* The caller ([receive]) already ran the replay and mailbox
+               fast paths; performing the effect means nothing was
+               acceptable, so this handler only parks. Scanning again here
+               would both waste the scan and duplicate any Ignored
+               (deferral) trace events the first scan recorded. *)
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 if check_doom k then ()
                 else begin
-                  match replay_next pcb with
-                  | Some (L_recv m) -> Effect.Deep.continue k m
-                  | Some _ ->
-                    Effect.Deep.discontinue k
-                      (Replay_divergence "expected receive")
-                  | None -> (
-                    match try_receive t pcb tag with
-                    | Some m ->
+                  let armed = ref true in
+                  let wake m =
+                    if !armed then begin
+                      armed := false;
+                      pcb.park <- None;
+                      pcb.state <- Running;
                       log_push pcb (L_recv m);
                       Effect.Deep.continue k m
-                    | None ->
-                      let armed = ref true in
-                      let wake m =
-                        if !armed then begin
-                          armed := false;
-                          pcb.park <- None;
-                          pcb.state <- Running;
-                          log_push pcb (L_recv m);
-                          Effect.Deep.continue k m
-                        end
-                      in
-                      let cancel reason =
-                        if !armed then begin
-                          armed := false;
-                          Effect.Deep.discontinue k (Process_killed reason)
-                        end
-                      in
-                      pcb.state <- Suspended;
-                      pcb.park <- Some (Park_recv { tag; wake; cancel }))
+                    end
+                  in
+                  let cancel reason =
+                    if !armed then begin
+                      armed := false;
+                      Effect.Deep.discontinue k (Process_killed reason)
+                    end
+                  in
+                  pcb.state <- Suspended;
+                  pcb.park <- Some (Park_recv { tag; wake; cancel })
                 end)
           | E_recv_timeout (tag, timeout) ->
+            (* Park-only, like [E_recv]: the caller polled already. *)
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 if check_doom k then ()
                 else begin
-                  match replay_next pcb with
-                  | Some (L_recv_opt r) -> Effect.Deep.continue k r
-                  | Some _ ->
-                    Effect.Deep.discontinue k
-                      (Replay_divergence "expected receive_timeout")
-                  | None -> (
-                    match try_receive t pcb tag with
-                    | Some m ->
+                  let armed = ref true in
+                  let timeout_ev = ref None in
+                  let disarm () =
+                    armed := false;
+                    Option.iter cancel_event !timeout_ev
+                  in
+                  let wake m =
+                    if !armed then begin
+                      disarm ();
+                      pcb.park <- None;
+                      pcb.state <- Running;
                       log_push pcb (L_recv_opt (Some m));
                       Effect.Deep.continue k (Some m)
-                    | None when timeout <= 0. ->
-                      (* Poll-only: nothing acceptable is queued right now,
-                         report that immediately without parking. *)
+                    end
+                  in
+                  let timeout_wake () =
+                    if !armed then begin
+                      disarm ();
+                      pcb.park <- None;
+                      pcb.state <- Running;
                       log_push pcb (L_recv_opt None);
                       Effect.Deep.continue k None
-                    | None ->
-                      let armed = ref true in
-                      let timeout_ev = ref None in
-                      let disarm () =
-                        armed := false;
-                        Option.iter cancel_event !timeout_ev
-                      in
-                      let wake m =
-                        if !armed then begin
-                          disarm ();
-                          pcb.park <- None;
-                          pcb.state <- Running;
-                          log_push pcb (L_recv_opt (Some m));
-                          Effect.Deep.continue k (Some m)
-                        end
-                      in
-                      let timeout_wake () =
-                        if !armed then begin
-                          disarm ();
-                          pcb.park <- None;
-                          pcb.state <- Running;
-                          log_push pcb (L_recv_opt None);
-                          Effect.Deep.continue k None
-                        end
-                      in
-                      let cancel reason =
-                        if !armed then begin
-                          disarm ();
-                          Effect.Deep.discontinue k (Process_killed reason)
-                        end
-                      in
-                      pcb.state <- Suspended;
-                      pcb.park <- Some (Park_recv { tag; wake; cancel });
-                      timeout_ev :=
-                        Some
-                          (schedule_cancellable t ~at:(t.vnow +. timeout)
-                             (fun () -> timeout_wake ())))
+                    end
+                  in
+                  let cancel reason =
+                    if !armed then begin
+                      disarm ();
+                      Effect.Deep.discontinue k (Process_killed reason)
+                    end
+                  in
+                  pcb.state <- Suspended;
+                  pcb.park <- Some (Park_recv { tag; wake; cancel });
+                  timeout_ev :=
+                    Some
+                      (schedule_cancellable t ~at:(t.vnow +. timeout) (fun () ->
+                           timeout_wake ()))
                 end)
           | E_park register ->
             Some
@@ -859,61 +961,277 @@ and run_body t pcb =
   in
   Effect.Deep.match_with pcb.body ctx handler
 
+and channel_of t pcb ~dest =
+  match pcb.last_chan with
+  | Some c when Pid.equal c.ch_dest dest -> c
+  | _ ->
+    let key = (pcb.pid, dest) in
+    let c =
+      match Hashtbl.find_opt t.channels key with
+      | Some c -> c
+      | None ->
+        let c =
+          {
+            ch_sender = pcb.pid;
+            ch_dest = dest;
+            outbox = Mailbox.create ();
+            ch_clock =
+              (let a = Float.Array.create 2 in
+               Float.Array.set a 0 neg_infinity;
+               Float.Array.set a 1 0.;
+               a);
+            ch_open = false;
+            ch_watermark = -1;
+            ch_upto = { u = 0 };
+          }
+        in
+        Hashtbl.replace t.channels key c;
+        c
+    in
+    pcb.last_chan <- Some c;
+    c
+
+(* Serialise one outgoing message into the channel's outbox (or spill it
+   as a heap message when the ring's frame pool is exhausted by a burst)
+   and make sure a flush event will hand it to the receiver at the time the
+   caller just stored in [ch_clock.(0)] (passing it through the clock
+   rather than as an argument keeps the float unboxed on the join path):
+   join
+   the open batch when that is provably order-preserving (same flush time
+   and no event scheduled since the batch last grew), otherwise schedule a
+   fresh flush — which takes exactly the event-queue slot the per-message
+   delivery used to, so (time, seq) order is unchanged. *)
+and outbox_push t chan ~sender ~predicate ~tag ~seq ~uid ~size ~cached
+    payload =
+  (if Mailbox.has_frame chan.outbox then
+     Frame.fill
+       (Mailbox.emplace_frame chan.outbox)
+       ~sender ~dest:chan.ch_dest ~predicate ~tag ~seq ~uid ~size ~cached
+       payload
+   else
+     let m =
+       match cached with
+       | Some m -> m
+       | None ->
+         { Message.sender; dest = chan.ch_dest; predicate; payload; tag; seq;
+           size }
+     in
+     Mailbox.emplace_spilled chan.outbox m);
+  let at = Float.Array.unsafe_get chan.ch_clock 0 in
+  if
+    chan.ch_open
+    && Float.Array.unsafe_get chan.ch_clock 1 = at
+    && chan.ch_watermark = Event_queue.stamp t.events
+  then chan.ch_upto.u <- Mailbox.tail_pos chan.outbox
+  else begin
+    let upto = { u = Mailbox.tail_pos chan.outbox } in
+    chan.ch_open <- true;
+    Float.Array.unsafe_set chan.ch_clock 1 at;
+    chan.ch_upto <- upto;
+    schedule t ~at (fun () -> flush_channel t chan upto);
+    chan.ch_watermark <- Event_queue.stamp t.events
+  end
+
 and do_send t pcb ~dest ~tag payload =
   let predicate =
-    match Fate_registry.normalize t.reg pcb.predicate with
-    | `Live p -> p
-    | `Dead -> pcb.predicate (* the sweep will kill us shortly *)
+    (* Certain predicates normalise to themselves; skipping the call keeps
+       the fast path free of the `Live wrapper allocation. *)
+    if Predicate.is_certain pcb.predicate then pcb.predicate
+    else
+      match Fate_registry.normalize t.reg pcb.predicate with
+      | `Live p -> p
+      | `Dead -> pcb.predicate (* the sweep will kill us shortly *)
   in
+  let seq = pcb.send_seq in
+  pcb.send_seq <- seq + 1;
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let size = Message.header_bytes + Payload.size_bytes payload in
+  let live = Trace.live t.trace_ in
+  (* Materialise a message value only if someone will look at it: the
+     trace, a message-fault plan, or a delivery-fault hook. It is threaded
+     through the frames as [cached] so every event about this send shares
+     one value, exactly like the heap-allocated path did. *)
   let msg =
-    Message.make ~sender:pcb.pid ~dest ~predicate ~tag ~seq:pcb.send_seq payload
+    if live || t.msg_fault != None || t.delivery_fault != None then
+      Some { Message.sender = pcb.pid; dest; predicate; payload; tag; seq; size }
+    else None
   in
-  pcb.send_seq <- pcb.send_seq + 1;
-  tr t (Trace.Sent { msg });
-  let cost = Cost_model.message_cost t.model_ ~bytes:(Message.size_bytes msg) in
-  (* Per-(sender, logical dest) FIFO: never deliver before an earlier send. *)
-  let key = (pcb.pid, dest) in
+  (match msg with Some m when live -> tr t (Trace.Sent { msg = m }) | _ -> ());
+  let chan = channel_of t pcb ~dest in
+  (* Per-(sender, logical dest) FIFO: never deliver before an earlier send.
+     The cost expression is inlined (rather than calling
+     [Cost_model.message_cost]) so the float stays unboxed in this frame. *)
   let at =
-    let earliest = t.vnow +. cost in
-    match Hashtbl.find_opt t.channels key with
-    | Some last when last > earliest -> last
-    | _ -> earliest
+    let earliest =
+      t.vnow
+      +. t.model_.Cost_model.msg_latency
+      +. (float_of_int size *. t.model_.Cost_model.msg_per_byte)
+    in
+    let last = Float.Array.unsafe_get chan.ch_clock 0 in
+    if last > earliest then last else earliest
   in
-  let inject kind = tr t (Trace.Injected { kind; pid = None; msg = Some msg }) in
   match t.msg_fault with
   | None ->
-    Hashtbl.replace t.channels key at;
-    schedule t ~at (fun () -> deliver t msg)
+    Float.Array.unsafe_set chan.ch_clock 0 at;
+    outbox_push t chan ~sender:pcb.pid ~predicate ~tag ~seq ~uid ~size
+      ~cached:msg payload
   | Some f -> (
-    match f msg with
+    let m = Option.get msg in
+    let inject kind = tr t (Trace.Injected { kind; pid = None; msg = Some m }) in
+    match f m with
     | F_deliver ->
-      Hashtbl.replace t.channels key at;
-      schedule t ~at (fun () -> deliver t msg)
+      Float.Array.unsafe_set chan.ch_clock 0 at;
+      outbox_push t chan ~sender:pcb.pid ~predicate ~tag ~seq ~uid ~size
+        ~cached:msg payload
     | F_drop ->
       (* The send happened; the network lost it. The channel clock still
          advances so that later sends keep their fault-free schedule. *)
-      Hashtbl.replace t.channels key at;
+      Float.Array.unsafe_set chan.ch_clock 0 at;
       inject "drop"
     | F_duplicate ->
-      Hashtbl.replace t.channels key at;
+      Float.Array.unsafe_set chan.ch_clock 0 at;
       inject "duplicate";
-      schedule t ~at (fun () -> deliver t msg);
-      schedule t ~at (fun () -> deliver t msg)
+      (* Two frames, one send identity, independently serialised bytes:
+         consuming (or corrupting) one copy cannot touch the other, but a
+         world split still filters both out as a single logical send. *)
+      outbox_push t chan ~sender:pcb.pid ~predicate ~tag ~seq ~uid ~size
+        ~cached:msg payload;
+      outbox_push t chan ~sender:pcb.pid ~predicate ~tag ~seq ~uid ~size
+        ~cached:msg payload
     | F_delay extra ->
       (* Extra latency that also holds back later sends on the channel:
-         per-sender FIFO is preserved, everything just arrives late. *)
+         per-sender FIFO is preserved, everything just arrives late. The
+         message bypasses the outbox (its time would break the outbox's
+         monotone order) and is delivered directly. *)
       let at = at +. Float.max 0. extra in
-      Hashtbl.replace t.channels key at;
+      Float.Array.unsafe_set chan.ch_clock 0 at;
       inject "delay";
-      schedule t ~at (fun () -> deliver t msg)
+      schedule t ~at (fun () -> deliver_msg t m)
     | F_reorder extra ->
       (* Extra latency that does NOT advance the channel clock: a later
          send may overtake this message — a genuine FIFO violation. *)
-      Hashtbl.replace t.channels key at;
+      Float.Array.unsafe_set chan.ch_clock 0 at;
       inject "reorder";
-      schedule t ~at:(at +. Float.max 0. extra) (fun () -> deliver t msg))
+      schedule t ~at:(at +. Float.max 0. extra) (fun () -> deliver_msg t m))
 
-and deliver t msg =
+(* Hand every entry of one delivery batch to the receiver. When the trace
+   is live each entry is delivered, traced and rescanned in turn — byte-for-
+   byte the event sequence the per-message engine produced, because the
+   batch-join rule guarantees nothing could have ordered between them. When
+   nobody is watching the trace (and no delivery-fault hook needs a
+   per-copy veto interleaved with world splits), the destination's world
+   copies are resolved once, all entries are enqueued, and each copy is
+   rescanned once: unobservable (no user code can run mid-drain), and it
+   turns n park/wake cycles of a pipelined receiver into one. *)
+and flush_channel t chan upto =
+  if chan.ch_open && chan.ch_upto == upto then chan.ch_open <- false;
+  let outbox = chan.outbox in
+  let live = Trace.live t.trace_ in
+  if live || t.delivery_fault != None then begin
+    if live then begin
+      let n = upto.u - Mailbox.head_pos outbox in
+      if n > 1 then
+        tr t
+          (Trace.Delivered_batch
+             { sender = chan.ch_sender; dest = chan.ch_dest; count = n })
+    end;
+    while Mailbox.head_pos outbox < upto.u do
+      let pos = Mailbox.head_pos outbox in
+      deliver_pos t outbox pos ~dest:chan.ch_dest ~rescan:true;
+      Mailbox.remove outbox pos
+    done
+  end
+  else begin
+    (match Hashtbl.find t.worlds chan.ch_dest with
+    | l -> (
+      match !l with
+      | [ pid ] -> drain_batch_to t outbox upto pid
+      | pids -> (
+        while Mailbox.head_pos outbox < upto.u do
+          let pos = Mailbox.head_pos outbox in
+          List.iter
+            (fun pid -> deliver_pos_to t outbox pos pid ~rescan:false)
+            (List.rev pids);
+          Mailbox.remove outbox pos
+        done))
+    | exception Not_found -> drain_batch_to t outbox upto chan.ch_dest);
+    rescan_worlds t chan.ch_dest
+  end
+
+(* The single-world-copy bulk drain: destination pcb looked up once for
+   the whole batch (liveness cannot change mid-drain — no user code runs
+   until the rescan). *)
+and drain_batch_to t outbox upto pid =
+  match Hashtbl.find t.procs pid with
+  | exception Not_found -> Mailbox.drop_upto outbox ~upto:upto.u
+  | pcb ->
+    if is_alive pcb then Mailbox.transfer_upto outbox ~upto:upto.u pcb.mailbox
+    else Mailbox.drop_upto outbox ~upto:upto.u
+
+(* Move one outbox entry into a destination ring: framed entries are
+   deep-copied into a destination frame (or materialised and spilled if
+   the destination pool is exhausted); spilled entries share the
+   immutable message value, exactly like the old heap path did. *)
+and deliver_entry outbox pos dst =
+  let fr = Mailbox.frame_at outbox pos in
+  if Frame.occupied fr then begin
+    if Mailbox.has_frame dst then Frame.copy_into fr (Mailbox.emplace_frame dst)
+    else Mailbox.emplace_spilled dst (Frame.message fr)
+  end
+  else Mailbox.emplace_spilled dst (Mailbox.message_at outbox pos)
+
+(* Deliver one outbox entry to every world copy of its destination. *)
+and deliver_pos t outbox pos ~dest ~rescan =
+  match Hashtbl.find t.worlds dest with
+  | l -> (
+    match !l with
+    | [ pid ] -> deliver_pos_to t outbox pos pid ~rescan
+    | pids ->
+      List.iter
+        (fun pid -> deliver_pos_to t outbox pos pid ~rescan)
+        (List.rev pids))
+  | exception Not_found -> deliver_pos_to t outbox pos dest ~rescan
+
+and deliver_pos_to t outbox pos pid ~rescan =
+  match Hashtbl.find t.procs pid with
+  | exception Not_found -> ()
+  | pcb ->
+    if is_alive pcb then begin
+      let deliverable =
+        (* Checked at delivery time, per destination copy: a site crash or
+           partition that comes up while the message is in flight still
+           loses it. The hook records its own trace events. *)
+        match t.delivery_fault with
+        | None -> true
+        | Some f -> f (Mailbox.message_at outbox pos) ~dest:pid
+      in
+      if deliverable then begin
+        deliver_entry outbox pos pcb.mailbox;
+        if Trace.live t.trace_ then
+          tr t (Trace.Delivered { dest = pid; msg = Mailbox.message_at outbox pos });
+        if rescan then rescan_parked t pcb
+      end
+    end
+
+and rescan_worlds t dest =
+  match Hashtbl.find t.worlds dest with
+  | l -> (
+    match !l with
+    | [ pid ] -> rescan_world_copy t pid
+    | pids -> List.iter (fun pid -> rescan_world_copy t pid) (List.rev pids))
+  | exception Not_found -> rescan_world_copy t dest
+
+and rescan_world_copy t pid =
+  match Hashtbl.find t.procs pid with
+  | exception Not_found -> ()
+  | pcb -> if is_alive pcb then rescan_parked t pcb
+
+(* Direct delivery for messages that bypass the outbox (delayed/reordered
+   fault injections): already materialised, so the message value is shared
+   into the receivers' rings via the spill path — one value for every
+   copy, exactly as the heap path delivered it. *)
+and deliver_msg t (msg : Message.t) =
   let copies =
     match Hashtbl.find_opt t.worlds msg.Message.dest with
     | Some l -> List.rev !l
@@ -924,13 +1242,10 @@ and deliver t msg =
       match find_pcb t pid with
       | Some pcb when is_alive pcb ->
         let deliverable =
-          (* Checked at delivery time, per destination copy: a site crash or
-             partition that comes up while the message is in flight still
-             loses it. The hook records its own trace events. *)
           match t.delivery_fault with None -> true | Some f -> f msg ~dest:pid
         in
         if deliverable then begin
-          pcb.mailbox <- pcb.mailbox @ [ msg ];
+          Mailbox.emplace_spilled pcb.mailbox msg;
           tr t (Trace.Delivered { dest = pid; msg });
           rescan_parked t pcb
         end
@@ -1026,11 +1341,63 @@ let charge_memory ctx =
     let c = Address_space.drain_cost sp in
     if c > 0. then delay ctx c
 
-let send _ctx ?(tag = "") dest payload = Effect.perform (E_send (dest, tag, payload))
-let receive _ctx ?tag () = Effect.perform (E_recv tag)
+(* The messaging operations run on the caller's own stack instead of
+   performing an effect: [send] never suspends, and the receives only
+   perform a (park-only) effect when nothing queued is acceptable. Raising
+   [Process_killed] / [Replay_divergence] directly is equivalent to the
+   old handler's [discontinue]: we are already inside the fiber, and the
+   exception unwinds to [run_body]'s [exnc] either way. *)
 
-let receive_timeout _ctx ?tag ~timeout () =
-  Effect.perform (E_recv_timeout (tag, timeout))
+let check_doomed pcb =
+  match pcb.doomed with
+  | Some reason ->
+    pcb.doomed <- None;
+    raise (Process_killed reason)
+  | None -> ()
+
+let send ctx ?(tag = "") dest payload =
+  let pcb = ctx.pcb in
+  check_doomed pcb;
+  match replay_next pcb with
+  | Some L_sent -> ()
+  | Some _ -> raise (Replay_divergence "expected send")
+  | None ->
+    log_push pcb L_sent;
+    do_send ctx.engine pcb ~dest ~tag payload
+
+let receive ctx ?tag () =
+  let pcb = ctx.pcb in
+  check_doomed pcb;
+  match replay_next pcb with
+  | Some (L_recv m) -> m
+  | Some _ -> raise (Replay_divergence "expected receive")
+  | None ->
+    let m = try_receive ctx.engine pcb tag in
+    if m != Mailbox.no_message then begin
+      log_push pcb (L_recv m);
+      m
+    end
+    else Effect.perform (E_recv tag)
+
+let receive_timeout ctx ?tag ~timeout () =
+  let pcb = ctx.pcb in
+  check_doomed pcb;
+  match replay_next pcb with
+  | Some (L_recv_opt r) -> r
+  | Some _ -> raise (Replay_divergence "expected receive_timeout")
+  | None ->
+    let m = try_receive ctx.engine pcb tag in
+    if m != Mailbox.no_message then begin
+      log_push pcb (L_recv_opt (Some m));
+      Some m
+    end
+    else if timeout <= 0. then begin
+      (* Poll-only: nothing acceptable is queued right now, report that
+         immediately without parking. *)
+      log_push pcb (L_recv_opt None);
+      None
+    end
+    else Effect.perform (E_recv_timeout (tag, timeout))
 
 let cpu_time_of t pid =
   match Hashtbl.find_opt t.cpu_used pid with Some r -> !r | None -> 0.

@@ -230,6 +230,13 @@ val on_resolution : t -> Pid.t -> ([ `Certain | `Dead ] -> unit) -> unit
 
 val stats_events_processed : t -> int
 
+val stats_mailbox_scanned : t -> int
+(** Total mailbox slots visited by receive scans since the engine was
+    created. Tag-filtered receives keep a per-tag cursor past the traffic
+    they have already rejected, so repeated polls over a mailbox full of
+    foreign-tag messages cost O(new messages), not O(mailbox) each — the
+    regression tests pin a budget on this counter. *)
+
 val cpu_time_of : t -> Pid.t -> float
 (** Virtual CPU seconds consumed by the pid so far (its {!delay}s, scaled by
     actual processor share). The basis of the wasted-work / throughput

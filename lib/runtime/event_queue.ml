@@ -80,6 +80,7 @@ let pop t =
   end
 
 let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let stamp t = t.next_seq
 let size t = t.size
 let is_empty t = t.size = 0
 

@@ -14,6 +14,13 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_time : 'a t -> float option
 
+val stamp : 'a t -> int
+(** The sequence number the next {!push} will receive. Two observations of
+    [stamp] are equal iff nothing was pushed in between, which is what the
+    engine's channel layer uses to decide whether a message may join an
+    already-scheduled delivery batch without reordering it against
+    intervening events. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 

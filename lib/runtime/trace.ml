@@ -4,6 +4,7 @@ type event =
   | Exited of { pid : Pid.t; status : string }
   | Sent of { msg : Message.t }
   | Delivered of { dest : Pid.t; msg : Message.t }
+  | Delivered_batch of { sender : Pid.t; dest : Pid.t; count : int }
   | Accepted of { dest : Pid.t; msg : Message.t; dest_pred : Predicate.t }
   | Ignored of { dest : Pid.t; msg : Message.t; reason : string }
   | Split of { original : Pid.t; clone : Pid.t; on : Message.t }
@@ -30,6 +31,9 @@ type t = {
 
 let create ?(enabled = true) () = { events = []; enabled; observer = None }
 let enabled t = t.enabled
+
+let live t =
+  t.enabled || (match t.observer with Some _ -> true | None -> false)
 let set_enabled t b = t.enabled <- b
 let set_observer t f = t.observer <- f
 
@@ -57,6 +61,9 @@ let pp_event ppf = function
   | Sent { msg } -> Format.fprintf ppf "send %a" Message.pp msg
   | Delivered { dest; msg } ->
     Format.fprintf ppf "deliver to %a: %a" Pid.pp dest Message.pp msg
+  | Delivered_batch { sender; dest; count } ->
+    Format.fprintf ppf "deliver batch %a -> %a (%d messages)" Pid.pp sender
+      Pid.pp dest count
   | Accepted { dest; msg; dest_pred } ->
     Format.fprintf ppf "accept by %a %a: %a" Pid.pp dest Predicate.pp dest_pred
       Message.pp msg
@@ -165,6 +172,10 @@ let json_fields_of_event = function
   | Delivered { dest; msg } ->
     ( "delivered",
       Printf.sprintf "\"dest\":%s,\"msg\":%s" (json_pid dest) (json_msg msg) )
+  | Delivered_batch { sender; dest; count } ->
+    ( "delivered_batch",
+      Printf.sprintf "\"sender\":%s,\"dest\":%s,\"count\":%d" (json_pid sender)
+        (json_pid dest) count )
   | Accepted { dest; msg; dest_pred } ->
     ( "accepted",
       Printf.sprintf "\"dest\":%s,\"dest_pred\":%s,\"msg\":%s" (json_pid dest)

@@ -10,6 +10,12 @@ type event =
   | Exited of { pid : Pid.t; status : string }
   | Sent of { msg : Message.t }
   | Delivered of { dest : Pid.t; msg : Message.t }
+  | Delivered_batch of { sender : Pid.t; dest : Pid.t; count : int }
+      (** A channel flush handed [count] messages from one sender's outbox
+          to their receiver in a single event-queue event. Emitted (before
+          the per-message {!Delivered} events it covers) only when
+          [count > 1]; a batch of one is indistinguishable from the
+          pre-batching engine and is not announced. *)
   | Accepted of { dest : Pid.t; msg : Message.t; dest_pred : Predicate.t }
       (** [dest_pred] is the receiver's predicate {e before} it adopted any
           of the sender's assumptions: the analysis layer audits acceptance
@@ -62,6 +68,13 @@ type t
 val create : ?enabled:bool -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+
+val live : t -> bool
+(** Whether {!record} currently has any effect: recording is enabled or an
+    observer is installed. The engine's messaging hot path consults this
+    to skip materialising trace-only message values — and to coalesce
+    per-message delivery bookkeeping into batches — when no one is
+    watching. *)
 
 val record : t -> time:float -> event -> unit
 

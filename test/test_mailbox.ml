@@ -1,0 +1,433 @@
+(* Tests for the ring-buffer mailbox (lib/runtime/mailbox.ml, lib/msg/frame.ml)
+   and the messaging hot-path fixes that ride on it:
+
+   - pool recycling across wrap-around (the alloc-free steady state),
+   - the spill path when a burst exceeds the frame pool (overflow spills,
+     it never blocks: sends are asynchronous),
+   - degenerate capacities (zero = all-spill, one slot),
+   - world-split exclusion ([copy_excluding]) over framed/spilled mixes,
+   - frame recycling vs duplicate aliasing (the latent bug a shared-slot
+     implementation has: both regression-tested at the frame level and
+     end-to-end through fault injection),
+   - the per-tag receive cursor (the quadratic re-scan fix), with a hard
+     budget on [Engine.stats_mailbox_scanned],
+   - payload freezing and size stamping at send,
+   - batched delivery interleaved with zero-timeout pure polls. *)
+
+let check = Alcotest.check
+
+let pid i = Pid.of_int i
+
+let fill_one ring ~uid ~tag payload =
+  (* Emplace the way the engine's send path does: a pooled frame while one
+     is available, the spill path otherwise. *)
+  if Mailbox.has_frame ring then
+    Frame.fill (Mailbox.emplace_frame ring) ~sender:(pid 1) ~dest:(pid 2)
+      ~predicate:Predicate.empty ~tag ~seq:uid ~uid
+      ~size:(Message.header_bytes + Payload.size_bytes payload)
+      ~cached:None payload
+  else
+    Mailbox.emplace_spilled ring
+      {
+        Message.sender = pid 1;
+        dest = pid 2;
+        predicate = Predicate.empty;
+        payload;
+        tag;
+        seq = uid;
+        size = Message.header_bytes + Payload.size_bytes payload;
+      }
+
+let pop_front ring =
+  let pos = Mailbox.head_pos ring in
+  let m = Mailbox.message_at ring pos in
+  Mailbox.remove ring pos;
+  m
+
+(* ---------------- ring mechanics ---------------- *)
+
+(* Steady-state streaming through a small ring: positions wrap many times
+   over, FIFO order holds throughout, and the frame pool never grows past
+   its bound — the recycled frames are the whole point. *)
+let test_wraparound_pool_stays_flat () =
+  let ring = Mailbox.create ~capacity:8 () in
+  let next_uid = ref 0 and expect = ref 0 in
+  for _round = 1 to 500 do
+    for _ = 1 to 3 do
+      fill_one ring ~uid:!next_uid ~tag:"t" (Payload.int !next_uid);
+      incr next_uid
+    done;
+    for _ = 1 to 3 do
+      (match (pop_front ring).Message.payload with
+      | Payload.Int i -> check Alcotest.int "FIFO across wrap" !expect i
+      | _ -> Alcotest.fail "unexpected payload");
+      incr expect
+    done
+  done;
+  check Alcotest.int "ring drained" 0 (Mailbox.length ring);
+  check Alcotest.bool "pool bounded" true (Mailbox.frames_made ring <= 8);
+  check Alcotest.int "nothing ever spilled" 0 (Mailbox.spilled_total ring);
+  check Alcotest.bool "positions wrapped many times" true
+    (Mailbox.tail_pos ring > 8 * 100)
+
+(* A burst deeper than the pool: the overflow takes the spill path and the
+   ring keeps accepting (sends are asynchronous — there is nothing to
+   block). Order is preserved across the framed/spilled boundary, and
+   consuming the burst rearms the pool for the next one. *)
+let test_overflow_spills_never_blocks () =
+  let ring = Mailbox.create ~capacity:4 () in
+  for i = 0 to 19 do
+    fill_one ring ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  check Alcotest.int "all 20 accepted" 20 (Mailbox.length ring);
+  check Alcotest.int "pool exhausted at its bound" 4 (Mailbox.frames_made ring);
+  check Alcotest.int "the rest spilled" 16 (Mailbox.spilled_total ring);
+  for i = 0 to 19 do
+    match (pop_front ring).Message.payload with
+    | Payload.Int j -> check Alcotest.int "order across the boundary" i j
+    | _ -> Alcotest.fail "unexpected payload"
+  done;
+  (* The consumed frames are back in the pool: a second burst frames its
+     first 4 again without creating anything. *)
+  for i = 100 to 104 do
+    fill_one ring ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  check Alcotest.int "no new frames for the second burst" 4
+    (Mailbox.frames_made ring)
+
+let test_zero_capacity_is_all_spill () =
+  let ring = Mailbox.create ~capacity:0 () in
+  check Alcotest.bool "never has a frame" false (Mailbox.has_frame ring);
+  for i = 0 to 9 do
+    fill_one ring ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  check Alcotest.int "all spilled" 10 (Mailbox.spilled_total ring);
+  check Alcotest.int "all held" 10 (Mailbox.length ring);
+  for i = 0 to 9 do
+    match (pop_front ring).Message.payload with
+    | Payload.Int j -> check Alcotest.int "order" i j
+    | _ -> Alcotest.fail "unexpected payload"
+  done
+
+let test_one_slot_ring () =
+  let ring = Mailbox.create ~capacity:1 () in
+  for i = 0 to 99 do
+    fill_one ring ~uid:i ~tag:"t" (Payload.int i);
+    match (pop_front ring).Message.payload with
+    | Payload.Int j -> check Alcotest.int "ping-pong order" i j
+    | _ -> Alcotest.fail "unexpected payload"
+  done;
+  check Alcotest.int "one frame ever made" 1 (Mailbox.frames_made ring);
+  check Alcotest.int "nothing spilled" 0 (Mailbox.spilled_total ring)
+
+(* ---------------- world-split exclusion ---------------- *)
+
+let test_copy_excluding_framed_and_spilled () =
+  let ring = Mailbox.create ~capacity:2 () in
+  (* 0,1 framed; 2,3 spilled. *)
+  for i = 0 to 3 do
+    fill_one ring ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  (* Exclude the framed uid 1. *)
+  let c1 =
+    Mailbox.copy_excluding ring ~uid:1 ~msg:(Mailbox.message_at ring 1)
+  in
+  check Alcotest.int "one framed entry excluded" 3 (Mailbox.length c1);
+  (* Exclude the spilled entry at position 3 (uid -1: spilled entries are
+     matched by physical message identity instead). *)
+  let c2 =
+    Mailbox.copy_excluding ring
+      ~uid:(Mailbox.uid_at ring 3)
+      ~msg:(Mailbox.message_at ring 3)
+  in
+  check Alcotest.int "one spilled entry excluded" 3 (Mailbox.length c2);
+  (* The copy is independent: consuming from the original must not
+     disturb the copy's content (frames were deep-copied). *)
+  let before = (Mailbox.message_at c1 (Mailbox.head_pos c1)).Message.payload in
+  ignore (pop_front ring);
+  ignore (pop_front ring);
+  let after = (Mailbox.message_at c1 (Mailbox.head_pos c1)).Message.payload in
+  check Alcotest.bool "copy unaffected by original's consumption" true
+    (Payload.equal before after)
+
+(* ---------------- frame recycling vs aliasing ---------------- *)
+
+(* The latent bug a shared-slot implementation has: if delivering (or
+   duplicating) a frame shared the slot instead of deep-copying it, then
+   consuming the original and letting a later send recycle the slot would
+   rewrite the copy's bytes under it. [Frame.copy_into] is the fix; this
+   pins it down. *)
+let test_frame_recycle_cannot_corrupt_copy () =
+  let src = Frame.create () in
+  Frame.fill src ~sender:(pid 1) ~dest:(pid 2) ~predicate:Predicate.empty
+    ~tag:"orig" ~seq:7 ~uid:42 ~size:25 ~cached:None (Payload.int 1234);
+  let copy = Frame.create () in
+  Frame.copy_into src copy;
+  (* Recycle the source slot for an unrelated later send. *)
+  Frame.clear src;
+  Frame.fill src ~sender:(pid 9) ~dest:(pid 9) ~predicate:Predicate.empty
+    ~tag:"evil" ~seq:8 ~uid:43 ~size:29 ~cached:None
+    (Payload.str "overwrite");
+  check Alcotest.bool "payload survived the recycle" true
+    (Payload.equal (Payload.int 1234) (Frame.payload copy));
+  check Alcotest.string "tag survived" "orig" (Frame.tag copy);
+  check Alcotest.int "uid survived" 42 (Frame.uid copy)
+
+(* End-to-end: a Duplicate fault injects two copies of one send. Each must
+   be independently serialised — receiving both, interleaved with enough
+   later traffic to recycle every slot, yields two intact copies. *)
+let test_duplicate_copies_do_not_alias () =
+  let eng = Engine.create ~trace:false () in
+  Engine.set_message_fault eng
+    (Some
+       (fun m ->
+         if String.equal m.Message.tag "dup" then Engine.F_duplicate
+         else Engine.F_deliver));
+  let got = ref [] in
+  let n_chaff = 200 in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        (* Two copies of the duplicated send... *)
+        for _ = 1 to 2 do
+          got := (Engine.receive ctx ~tag:"dup" ()).Message.payload :: !got
+        done;
+        (* ...then drain the chaff that recycled the slots. *)
+        for _ = 1 to n_chaff do
+          ignore (Engine.receive ctx ~tag:"chaff" ())
+        done)
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         Engine.send ctx ~tag:"dup" receiver (Payload.str "precious");
+         for i = 1 to n_chaff do
+           Engine.send ctx ~tag:"chaff" receiver (Payload.int i)
+         done));
+  Engine.run eng;
+  match !got with
+  | [ a; b ] ->
+    check Alcotest.bool "first copy intact" true
+      (Payload.equal a (Payload.str "precious"));
+    check Alcotest.bool "second copy intact" true
+      (Payload.equal b (Payload.str "precious"))
+  | l -> Alcotest.failf "expected 2 copies, got %d" (List.length l)
+
+(* ---------------- per-tag cursor: the re-scan budget ---------------- *)
+
+(* The old list-walk receive re-scanned every tag-foreign message on every
+   poll: [n_foreign] pinned messages and [n_wanted] receives cost
+   O(foreign * wanted) slot visits. The per-tag cursor makes the foreign
+   prefix a one-time cost. The budget below fails the quadratic
+   implementation by an order of magnitude (500 * 100 = 50_000 visits)
+   while leaving the cursor implementation generous slack. *)
+let test_tag_cursor_scan_budget () =
+  let n_foreign = 500 and n_wanted = 100 in
+  let eng = Engine.create ~trace:false () in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        for _ = 1 to n_wanted do
+          ignore (Engine.receive ctx ~tag:"want" ())
+        done)
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         for i = 1 to n_foreign do
+           Engine.send ctx ~tag:"junk" receiver (Payload.int i)
+         done;
+         for i = 1 to n_wanted do
+           Engine.send ctx ~tag:"want" receiver (Payload.int i);
+           (* A fresh delivery batch per wanted message, so the receiver
+              parks and rescans between them — the worst case for the old
+              quadratic walk. *)
+           Engine.delay ctx 0.001
+         done));
+  Engine.run eng;
+  let scanned = Engine.stats_mailbox_scanned eng in
+  let budget = n_foreign + (8 * n_wanted) + 64 in
+  if scanned > budget then
+    Alcotest.failf
+      "mailbox scan budget exceeded: %d slot visits > %d (quadratic re-scan \
+       regression: the old implementation needs ~%d)"
+      scanned budget
+      (n_foreign * n_wanted);
+  check Alcotest.bool "scan budget respected" true (scanned <= budget)
+
+(* ---------------- payload freezing / size stamping ---------------- *)
+
+(* A message's wire size is stamped at send from the payload it carried at
+   that moment, for framed (inline-encoded) and spilled (oversized)
+   payloads alike — [Message.size_bytes] can no longer go stale relative
+   to the payload, because the payload is frozen when it is serialised. *)
+let test_size_stamped_and_payload_frozen_at_send () =
+  let eng = Engine.create ~trace:false () in
+  let small = Payload.int 7 in
+  let big = Payload.str (String.make 200 'x') in
+  let got = ref [] in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        for _ = 1 to 2 do
+          got := Engine.receive ctx () :: !got
+        done)
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         Engine.send ctx receiver small;
+         Engine.send ctx receiver big));
+  Engine.run eng;
+  match List.rev !got with
+  | [ m1; m2 ] ->
+    check Alcotest.int "small size stamped at send"
+      (Message.header_bytes + Payload.size_bytes small)
+      m1.Message.size;
+    check Alcotest.int "stamped size is live size" (Message.size_bytes m1)
+      m1.Message.size;
+    check Alcotest.bool "small payload round-trips" true
+      (Payload.equal small m1.Message.payload);
+    check Alcotest.int "oversized payload spills with its size intact"
+      (Message.header_bytes + Payload.size_bytes big)
+      m2.Message.size;
+    check Alcotest.bool "oversized payload round-trips" true
+      (Payload.equal big m2.Message.payload)
+  | l -> Alcotest.failf "expected 2 messages, got %d" (List.length l)
+
+(* ---------------- batched delivery vs zero-timeout polls ---------------- *)
+
+(* [receive_timeout ~timeout:0.] is a pure poll: before the batch lands it
+   must report None without parking; after the batch lands it must drain
+   exactly the delivered messages in order. *)
+let test_batch_vs_zero_timeout_polls () =
+  let n = 50 in
+  let eng = Engine.create ~trace:false () in
+  let pre_polls = ref (-1) and post = ref [] and final = ref (Some []) in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"poller" (fun ctx ->
+        (* Sends are scheduled with a delivery latency: polls at t=0 run
+           before the batch can possibly land. *)
+        let misses = ref 0 in
+        for _ = 1 to 10 do
+          match Engine.receive_timeout ctx ~timeout:0. () with
+          | None -> incr misses
+          | Some _ -> ()
+        done;
+        pre_polls := !misses;
+        (* Sleep past the batch's flush, then drain by pure polling. *)
+        Engine.delay ctx 1.0;
+        let continue = ref true in
+        while !continue do
+          match Engine.receive_timeout ctx ~timeout:0. () with
+          | Some m -> post := m.Message.payload :: !post
+          | None -> continue := false
+        done;
+        final := (match Engine.receive_timeout ctx ~timeout:0. () with
+          | Some _ -> Some []
+          | None -> None))
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"source" (fun ctx ->
+         for i = 1 to n do
+           Engine.send ctx receiver (Payload.int i)
+         done));
+  Engine.run eng;
+  check Alcotest.int "polls before delivery all miss, none park" 10 !pre_polls;
+  let drained = List.rev_map (function Payload.Int i -> i | _ -> -1) !post in
+  check (Alcotest.list Alcotest.int) "batch drained in order"
+    (List.init n (fun i -> i + 1))
+    drained;
+  check Alcotest.bool "and then the well is dry" true (!final = None)
+
+(* ---------------- bulk transfer / adoption ---------------- *)
+
+let test_transfer_into_empty_ring_adopts () =
+  let src = Mailbox.create ~capacity:4 () in
+  for i = 0 to 9 do
+    fill_one src ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  let dst = Mailbox.create ~capacity:4 () in
+  ignore (Mailbox.cursor dst "t");
+  Mailbox.transfer_upto src ~upto:(Mailbox.tail_pos src) dst;
+  check Alcotest.int "all moved" 10 (Mailbox.length dst);
+  check Alcotest.int "source empty" 0 (Mailbox.length src);
+  let c = Mailbox.cursor dst "t" in
+  check Alcotest.int "destination cursor reset to the adopted head"
+    (Mailbox.head_pos dst) c.Mailbox.cpos;
+  for i = 0 to 9 do
+    match (pop_front dst).Message.payload with
+    | Payload.Int j -> check Alcotest.int "order preserved" i j
+    | _ -> Alcotest.fail "unexpected payload"
+  done;
+  (* The source inherited usable (empty) state: it keeps working. *)
+  fill_one src ~uid:100 ~tag:"t" (Payload.int 100);
+  check Alcotest.int "source reusable after adoption" 1 (Mailbox.length src)
+
+let test_transfer_into_nonempty_ring_copies () =
+  let src = Mailbox.create ~capacity:2 () in
+  for i = 10 to 14 do
+    fill_one src ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  let dst = Mailbox.create ~capacity:2 () in
+  fill_one dst ~uid:0 ~tag:"t" (Payload.int 0);
+  Mailbox.transfer_upto src ~upto:(Mailbox.tail_pos src) dst;
+  check Alcotest.int "appended behind the resident entry" 6
+    (Mailbox.length dst);
+  check Alcotest.int "source drained" 0 (Mailbox.length src);
+  let expected = [ 0; 10; 11; 12; 13; 14 ] in
+  List.iter
+    (fun e ->
+      match (pop_front dst).Message.payload with
+      | Payload.Int j -> check Alcotest.int "arrival order" e j
+      | _ -> Alcotest.fail "unexpected payload")
+    expected
+
+let test_drop_upto_discards () =
+  let ring = Mailbox.create ~capacity:2 () in
+  for i = 0 to 5 do
+    fill_one ring ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  Mailbox.drop_upto ring ~upto:(Mailbox.head_pos ring + 4);
+  check Alcotest.int "four dropped" 2 (Mailbox.length ring);
+  (match (pop_front ring).Message.payload with
+  | Payload.Int j -> check Alcotest.int "survivors keep order" 4 j
+  | _ -> Alcotest.fail "unexpected payload");
+  check Alcotest.bool "dropped frames back in the pool" true
+    (Mailbox.has_frame ring)
+
+let () =
+  Alcotest.run "mailbox"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wrap-around keeps the pool flat" `Quick
+            test_wraparound_pool_stays_flat;
+          Alcotest.test_case "overflow spills, never blocks" `Quick
+            test_overflow_spills_never_blocks;
+          Alcotest.test_case "zero capacity is all-spill" `Quick
+            test_zero_capacity_is_all_spill;
+          Alcotest.test_case "one-slot ring" `Quick test_one_slot_ring;
+          Alcotest.test_case "copy_excluding over framed and spilled" `Quick
+            test_copy_excluding_framed_and_spilled;
+        ] );
+      ( "aliasing",
+        [
+          Alcotest.test_case "frame recycle cannot corrupt a copy" `Quick
+            test_frame_recycle_cannot_corrupt_copy;
+          Alcotest.test_case "duplicate fault copies do not alias" `Quick
+            test_duplicate_copies_do_not_alias;
+        ] );
+      ( "hot path",
+        [
+          Alcotest.test_case "per-tag cursor scan budget" `Quick
+            test_tag_cursor_scan_budget;
+          Alcotest.test_case "size stamped and payload frozen at send" `Quick
+            test_size_stamped_and_payload_frozen_at_send;
+          Alcotest.test_case "batched delivery vs zero-timeout polls" `Quick
+            test_batch_vs_zero_timeout_polls;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "transfer into empty ring adopts" `Quick
+            test_transfer_into_empty_ring_adopts;
+          Alcotest.test_case "transfer into non-empty ring copies" `Quick
+            test_transfer_into_nonempty_ring_copies;
+          Alcotest.test_case "drop_upto discards a prefix" `Quick
+            test_drop_upto_discards;
+        ] );
+    ]
