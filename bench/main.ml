@@ -197,6 +197,23 @@ let bench_replica_quorum =
                 ignore (Replicate.run_quorum ctx ~replicas:3 (fun _ -> 42))));
          Engine.run eng))
 
+let bench_quota_admit =
+  (* The serving layer's admission hot path: one GCRA decision per
+     arriving request, shed or admit, no allocation. *)
+  let q = Quota.create ~rate:1000. ~burst:8 in
+  let now = ref 0. in
+  Test.make ~name:"serve: quota admit/shed decision (GCRA)"
+    (Staged.stage (fun () ->
+         now := !now +. 0.0005;
+         ignore (Quota.admit q ~now:!now)))
+
+let bench_serve_plan =
+  (* Admission + batch formation over a 200-request open-loop stream —
+     the pure planning scan, no engines. *)
+  let wl = { Workload.default with Workload.wl_requests = 200 } in
+  Test.make ~name:"serve: plan 200-request open-loop stream"
+    (Staged.stage (fun () -> ignore (Workload.generate wl)))
+
 let microbenchmarks () =
   Format.printf "@.== Microbenchmarks (Bechamel, OLS ns/run) ==@.@.";
   let tests =
@@ -205,7 +222,8 @@ let microbenchmarks () =
       bench_scalar_byte_path; bench_absorb_dirty; bench_predicate_ops; bench_unify;
       bench_event_queue; bench_engine_race; bench_prolog_solve;
       bench_message_round; bench_checkpoint; bench_txn_commit;
-      bench_consensus_round; bench_replica_quorum;
+      bench_consensus_round; bench_replica_quorum; bench_quota_admit;
+      bench_serve_plan;
     ]
   in
   let instance = Instance.monotonic_clock in

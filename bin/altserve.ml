@@ -1,0 +1,223 @@
+(* altserve: drive the request-driven serving layer with a deterministic
+   open-loop load and emit BENCH_serve.json.
+
+     altserve --requests 2000 --rate 200   a seeded open-loop run
+     altserve --sanitize                   attach the online sanitizer to
+                                           every batch engine
+     altserve --verify-determinism         also replay the run and compare
+                                           digests (same seed => identical
+                                           responses; jobs-1 = jobs-N)
+     altserve --validate -o BENCH.json     re-read the record and fail
+                                           unless every schema field is
+                                           present (the @serve-smoke alias)
+
+   Exit codes: 0 clean; 1 invariant violations on served requests;
+   2 schema validation failed; 3 determinism verification failed;
+   4 wall-clock throughput below floor with >= 2 cores. *)
+
+open Cmdliner
+
+let wl_term =
+  let seed =
+    Arg.(
+      value & opt int Workload.default.Workload.wl_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  let requests =
+    Arg.(
+      value & opt int Workload.default.Workload.wl_requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Arrivals to generate.")
+  in
+  let rate =
+    Arg.(
+      value & opt float Workload.default.Workload.wl_rate
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Mean arrivals per virtual second (Poisson).")
+  in
+  let tenants =
+    Arg.(
+      value & opt int Workload.default.Workload.wl_tenants
+      & info [ "tenants" ] ~docv:"N" ~doc:"Tenant population (Zipf 1.1).")
+  in
+  let mk seed requests rate tenants =
+    {
+      Workload.default with
+      Workload.wl_seed = seed;
+      wl_requests = requests;
+      wl_rate = rate;
+      wl_tenants = tenants;
+    }
+  in
+  Term.(const mk $ seed $ requests $ rate $ tenants)
+
+let sv_term =
+  let lanes =
+    Arg.(
+      value & opt int Server.default.Server.sv_lanes
+      & info [ "lanes" ] ~docv:"N" ~doc:"Service lanes (virtual executors).")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int Server.default.Server.sv_max_batch
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Batch occupancy that forces an immediate close.")
+  in
+  let window =
+    Arg.(
+      value & opt float Server.default.Server.sv_window
+      & info [ "window" ] ~docv:"S"
+          ~doc:"Max virtual seconds a batch waits open for company.")
+  in
+  let quota_rate =
+    Arg.(
+      value & opt float Server.default.Server.sv_quota_rate
+      & info [ "quota-rate" ] ~docv:"R"
+          ~doc:"Per-tenant token refill rate (tokens per virtual second).")
+  in
+  let quota_burst =
+    Arg.(
+      value & opt int Server.default.Server.sv_quota_burst
+      & info [ "quota-burst" ] ~docv:"N" ~doc:"Per-tenant bucket depth.")
+  in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Attach the online happens-before sanitizer to every batch \
+             engine — the production auditor. Its flags join the \
+             violation count.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parallel.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing batches (default: one per core). \
+             Responses are identical for every value of $(docv).")
+  in
+  let mk lanes max_batch window quota_rate quota_burst sanitize jobs =
+    {
+      Server.sv_lanes = lanes;
+      sv_max_batch = max_batch;
+      sv_window = window;
+      sv_quota_rate = quota_rate;
+      sv_quota_burst = quota_burst;
+      sv_overhead = Server.default.Server.sv_overhead;
+      sv_sanitize = sanitize;
+      sv_jobs = jobs;
+    }
+  in
+  Term.(
+    const mk $ lanes $ max_batch $ window $ quota_rate $ quota_burst
+    $ sanitize $ jobs)
+
+(* The wall-clock throughput floor: far below what even one core
+   sustains on the default smoke load, so only a real regression (or a
+   starved single-core container, which is excused) trips it. *)
+let wall_rps_floor = 50.
+
+let main wl sv out validate verify_determinism =
+  let t0 = Unix.gettimeofday () in
+  let result, m, v = Servebench.run_verified wl sv in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let runs = 2 + (if sv.Server.sv_jobs > 1 then 1 else 0) in
+  let executed = m.Servebench.m_served + m.Servebench.m_failed in
+  let wall_rps = float_of_int (executed * runs) /. Float.max wall_s 1e-9 in
+  Printf.printf
+    "%d requests: %d served, %d failed, %d shed (%.1f%%) in %d batches\n"
+    m.Servebench.m_requests m.Servebench.m_served m.Servebench.m_failed
+    m.Servebench.m_shed
+    (100. *. m.Servebench.m_shed_rate)
+    m.Servebench.m_batches;
+  Printf.printf
+    "latency p50/p99/p999: %.4f/%.4f/%.4f s; %.1f req/s virtual; %.0f \
+     req/s wall (%d runs, %.2f s)\n"
+    m.Servebench.m_p50 m.Servebench.m_p99 m.Servebench.m_p999
+    m.Servebench.m_rps wall_rps runs wall_s;
+  List.iter
+    (fun viol -> Format.eprintf "%a@." Report.pp_violation viol)
+    result.Server.violations;
+  let json = Servebench.to_json wl sv m v in
+  let oc =
+    try open_out out
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" out msg;
+      exit 1
+  in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "%s: digest %016Lx\n" out v.Servebench.v_digest;
+  if validate then begin
+    match Servebench.validate json with
+    | Ok n -> Printf.printf "schema ok (%d fields)\n" n
+    | Error missing ->
+        Printf.eprintf "schema validation FAILED; missing: %s\n"
+          (String.concat ", " missing);
+        exit 2
+  end;
+  if verify_determinism then begin
+    if not v.Servebench.v_replay_identical then begin
+      Printf.eprintf
+        "determinism FAILED: replay with the same configs diverged\n";
+      exit 3
+    end;
+    if not v.Servebench.v_jobs_identical then begin
+      Printf.eprintf "determinism FAILED: jobs-1 and jobs-%d diverged\n"
+        sv.Server.sv_jobs;
+      exit 3
+    end;
+    Printf.printf "determinism ok: replay identical, jobs-1 = jobs-%d\n"
+      sv.Server.sv_jobs
+  end;
+  (* Wall-clock throughput is load-dependent where everything above is
+     not: on a single-core host a slow run is expected scheduling
+     starvation, so it only warrants a note; with two or more cores it
+     is a genuine regression (same convention as altcheck bench). *)
+  let cores = Parallel.default_jobs () in
+  if wall_rps < wall_rps_floor then
+    if cores < 2 then
+      Printf.printf
+        "note: %.0f req/s wall < %.0f on a %d-core host (not a failure)\n"
+        wall_rps wall_rps_floor cores
+    else begin
+      Printf.eprintf
+        "throughput validation FAILED: %.0f req/s wall < %.0f with %d \
+         cores available\n"
+        wall_rps wall_rps_floor cores;
+      exit 4
+    end;
+  exit (if result.Server.violations = [] then 0 else 1)
+
+let () =
+  let doc = "Serve a deterministic open-loop request stream of alt-blocks" in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the record.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "After writing, re-check the record for every schema field \
+             (used by the $(b,@serve-smoke) alias).")
+  in
+  let verify_determinism =
+    Arg.(
+      value & flag
+      & info [ "verify-determinism" ]
+          ~doc:
+            "Fail unless the replay digest and the jobs-1 digest both \
+             match the run.")
+  in
+  let info = Cmd.info "altserve" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const main $ wl_term $ sv_term $ out $ validate
+            $ verify_determinism)))

@@ -635,6 +635,63 @@ let all_fail =
 
 let default_scenarios = [ counters; guarded; teletype; all_fail ]
 
+let find_scenario name =
+  List.find_opt (fun s -> String.equal s.sc_name name) default_scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Per-request report checks.
+
+   The serving layer answers each admitted request with a block report;
+   these checks audit one report's self-consistency without a trace (the
+   serving engines keep recording off for throughput — the trace-based
+   checkers above need [run_scenario]'s full instrumentation). They are a
+   sound subset of the post-mortem classes: any violation here implies
+   the corresponding replay checker would find one too. *)
+
+let check_report ~scenario ~policy ~seed (rep : _ Concurrent.report) =
+  let out = ref [] in
+  let add cls d =
+    out :=
+      Report.violation cls ~scenario ~policy:(Concurrent.describe policy) ~seed d
+      :: !out
+  in
+  if rep.Concurrent.spawned <> List.length rep.Concurrent.children then
+    add Report.Elimination
+      (Printf.sprintf "report claims %d spawned alternatives but lists %d"
+         rep.Concurrent.spawned
+         (List.length rep.Concurrent.children));
+  (match (rep.Concurrent.outcome, rep.Concurrent.winner) with
+  | _, Some w when rep.Concurrent.degraded ->
+    add Report.At_most_once
+      (Format.asprintf "a degraded block reported %a as a speculative winner"
+         Pid.pp w)
+  | Alt_block.Selected _, Some w ->
+    if not (List.exists (Pid.equal w) rep.Concurrent.children) then
+      add Report.At_most_once
+        (Format.asprintf "the winner %a is not a block child" Pid.pp w)
+  | Alt_block.Selected _, None ->
+    if not rep.Concurrent.degraded then
+      add Report.At_most_once
+        "outcome is Selected but the report names no winner"
+  | Alt_block.Block_failed _, Some w ->
+    add Report.At_most_once
+      (Format.asprintf "a failed block reported %a as its winner" Pid.pp w)
+  | Alt_block.Block_failed _, None -> ());
+  if rep.Concurrent.wasted_cpu < 0. then
+    add Report.Accounting
+      (Printf.sprintf "negative wasted_cpu %.9f" rep.Concurrent.wasted_cpu);
+  if rep.Concurrent.elapsed < 0. then
+    add Report.Accounting
+      (Printf.sprintf "negative elapsed %.9f" rep.Concurrent.elapsed);
+  (match policy.Concurrent.sync with
+  | Concurrent.Local ->
+    if rep.Concurrent.sync_messages <> 0 then
+      add Report.Accounting
+        (Printf.sprintf "local latch reports %d sync messages"
+           rep.Concurrent.sync_messages)
+  | Concurrent.Consensus _ -> ());
+  List.rev !out
+
 (* ------------------------------------------------------------------ *)
 (* The policy matrix.                                                  *)
 

@@ -109,6 +109,22 @@ val default_scenarios : scenario list
     guard, one failing body), [teletype] (source-device reads and gated
     writes), [all-fail] (every alternative fails). *)
 
+val find_scenario : string -> scenario option
+(** Look a default scenario up by [sc_name]. The serving layer resolves
+    each request's scenario name through this. *)
+
+val check_report :
+  scenario:string ->
+  policy:Concurrent.policy ->
+  seed:int ->
+  'a Concurrent.report ->
+  Report.violation list
+(** Audit one block report's self-consistency without a trace: winner
+    membership and at-most-once shape of the outcome, spawn bookkeeping,
+    non-negative cost counters, zero consensus messages under a local
+    latch. A sound subset of the replay checkers, cheap enough to run on
+    every served request (the serving engines keep trace recording off). *)
+
 val policy_matrix : Concurrent.policy list
 (** Every combination of elimination strategy (3) x synchronisation mode
     (local latch, 3-node consensus) x guard placement (4), local

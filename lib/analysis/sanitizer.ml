@@ -299,6 +299,22 @@ let detach t =
   Trace.set_observer (Engine.trace t.eng) None;
   Frame_store.set_write_observer (Engine.frame_store t.eng) None
 
+(* The at-most-once state is scoped to ONE alternative block: [wins],
+   [lates], per-epoch tallies, the degradation latch and the recovery
+   fence all describe "this block's" latch. A serving engine runs many
+   independent blocks back to back on one engine; without this reset the
+   second block's perfectly legal [Sync_won] would flag as a duplicate
+   win of the first. Vector clocks, frame ownership and message
+   snapshots deliberately survive — happens-before and isolation span
+   the whole engine, whatever block a process belonged to. Accumulated
+   flags also survive: they already happened. *)
+let next_block t =
+  t.wins <- [];
+  Hashtbl.reset t.lates;
+  Hashtbl.reset t.epoch_wins;
+  t.fence <- 0;
+  t.degraded <- false
+
 let observe_source t src =
   t.sources_seen <- t.sources_seen + 1;
   Source.set_emission_hook src

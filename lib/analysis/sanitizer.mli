@@ -50,6 +50,15 @@ val attach : Engine.t -> t
 val detach : t -> unit
 (** Remove the observers. The accumulated flags remain readable. *)
 
+val next_block : t -> unit
+(** Close the current alternative block's at-most-once scope: the win /
+    late / epoch tallies, degradation latch and recovery fence reset so
+    the next block's legal [Sync_won] is not mistaken for a duplicate
+    win of the previous one. Happens-before state (vector clocks, frame
+    ownership, in-flight message snapshots) and accumulated flags
+    survive. The serving layer calls this between the jobs of a shared
+    batch engine; single-block runs never need it. *)
+
 val observe_source : t -> Source.t -> unit
 (** Watch a source device for uncertain emissions (claims the device's
     emission hook). *)

@@ -71,11 +71,17 @@ and event = { mutable dead_ev : bool; run_ev : unit -> unit }
 
    A batch is a single scheduled event that will hand a contiguous run of
    outbox frames to the receiver in one step. A later send may join the
-   open batch only if (a) it is due at exactly the batch's flush time and
+   open batch only if (a) it is due at exactly the batch's flush time,
    (b) the event queue's stamp has not moved since the batch last grew —
-   i.e. nothing else was scheduled in between, so no event can possibly
-   order between the batch's members and global (time, seq) order is
-   preserved exactly as if each message had its own event. *)
+   i.e. nothing else was scheduled in between — and (c) no event has
+   executed since either. The stamp alone counts only pushes: a
+   zero-delay timer that pops and runs between two sends at the same
+   virtual time (say, filling an ivar whose waiter resumes synchronously
+   and sends again) moves neither the stamp nor the flush time, yet an
+   event did order between the two sends and must flush the open batch.
+   With (a)–(c) together no event can possibly order between the batch's
+   members and global (time, seq) order is preserved exactly as if each
+   message had its own event. *)
 and channel = {
   ch_sender : Pid.t;
   ch_dest : Pid.t;  (* logical destination *)
@@ -87,6 +93,7 @@ and channel = {
          stores and compares times without boxing a float per message. *)
   mutable ch_open : bool;
   mutable ch_watermark : int;  (* Event_queue.stamp when the batch last grew *)
+  mutable ch_epoch : int;  (* events_processed when the batch was opened *)
   mutable ch_upto : upto;
 }
 
@@ -982,6 +989,7 @@ and channel_of t pcb ~dest =
                a);
             ch_open = false;
             ch_watermark = -1;
+            ch_epoch = -1;
             ch_upto = { u = 0 };
           }
         in
@@ -1022,6 +1030,7 @@ and outbox_push t chan ~sender ~predicate ~tag ~seq ~uid ~size ~cached
     chan.ch_open
     && Float.Array.unsafe_get chan.ch_clock 1 = at
     && chan.ch_watermark = Event_queue.stamp t.events
+    && chan.ch_epoch = t.events_processed
   then chan.ch_upto.u <- Mailbox.tail_pos chan.outbox
   else begin
     let upto = { u = Mailbox.tail_pos chan.outbox } in
@@ -1029,7 +1038,8 @@ and outbox_push t chan ~sender ~predicate ~tag ~seq ~uid ~size ~cached
     Float.Array.unsafe_set chan.ch_clock 1 at;
     chan.ch_upto <- upto;
     schedule t ~at (fun () -> flush_channel t chan upto);
-    chan.ch_watermark <- Event_queue.stamp t.events
+    chan.ch_watermark <- Event_queue.stamp t.events;
+    chan.ch_epoch <- t.events_processed
   end
 
 and do_send t pcb ~dest ~tag payload =

@@ -38,6 +38,7 @@ type t = {
   mutable pool_n : int;
   mutable pool_made : int;  (* frames created so far, <= pool_cap *)
   mutable spilled_total : int;  (* entries that took the overflow path *)
+  mutable spilled_live : int;  (* spilled entries currently in [head, tail) *)
   mutable cursors : cursor list;  (* per-tag receive cursors *)
 }
 
@@ -74,6 +75,7 @@ let create ?(capacity = default_capacity) () =
     pool_n = 0;
     pool_made = 0;
     spilled_total = 0;
+    spilled_live = 0;
     cursors = [];
   }
 
@@ -84,6 +86,7 @@ let head_pos t = t.head
 let tail_pos t = t.tail
 let frames_made t = t.pool_made
 let spilled_total t = t.spilled_total
+let spilled_live t = t.spilled_live
 
 let grow_to t ncap =
   let ocap = Array.length t.frames in
@@ -147,7 +150,8 @@ let emplace_spilled t m =
   t.msgs.(t.tail land (Array.length t.msgs - 1)) <- m;
   t.tail <- t.tail + 1;
   t.live <- t.live + 1;
-  t.spilled_total <- t.spilled_total + 1
+  t.spilled_total <- t.spilled_total + 1;
+  t.spilled_live <- t.spilled_live + 1
 
 let frame_at t pos =
   Array.unsafe_get t.frames (pos land (Array.length t.frames - 1))
@@ -192,6 +196,7 @@ let remove t pos =
     end
     else if Array.unsafe_get t.msgs i != no_msg then begin
       Array.unsafe_set t.msgs i no_msg;
+      t.spilled_live <- t.spilled_live - 1;
       true
     end
     else false
@@ -230,6 +235,13 @@ let adopt t dst =
   dst.pool <- t.pool;
   dst.pool_n <- t.pool_n;
   dst.pool_made <- t.pool_made;
+  (* Adopted spilled entries took the overflow path into [dst] exactly as
+     the copying path's [emplace_spilled] would have recorded: without
+     this, [spilled_total] on the destination silently under-counts by the
+     whole adopted batch and diverges from the per-entry path. [dst] is
+     empty (adoption precondition), so its own [spilled_live] is 0. *)
+  dst.spilled_total <- dst.spilled_total + t.spilled_live;
+  dst.spilled_live <- t.spilled_live;
   t.frames <- fr;
   t.msgs <- ms;
   t.pool <- pl;
@@ -238,6 +250,7 @@ let adopt t dst =
   t.head <- pos;
   t.tail <- pos;
   t.live <- 0;
+  t.spilled_live <- 0;
   (* Both rings' absolute numbering just jumped; cursors are lower bounds
      tied to the old numbering, so reset them to the new heads. *)
   List.iter (fun c -> c.cpos <- dst.head) dst.cursors;
@@ -272,7 +285,8 @@ let transfer_upto t ~upto dst =
              like the old heap path delivered it. *)
           emplace_spilled dst m;
           Array.unsafe_set t.msgs i no_msg;
-          t.live <- t.live - 1
+          t.live <- t.live - 1;
+          t.spilled_live <- t.spilled_live - 1
         end
       end
     done;
@@ -297,7 +311,8 @@ let drop_upto t ~upto =
       end
       else if Array.unsafe_get t.msgs i != no_msg then begin
         Array.unsafe_set t.msgs i no_msg;
-        t.live <- t.live - 1
+        t.live <- t.live - 1;
+        t.spilled_live <- t.spilled_live - 1
       end
     done;
     t.head <- upto;

@@ -129,4 +129,12 @@ val frames_made : t -> int
     warm, however much traffic cycles through. *)
 
 val spilled_total : t -> int
-(** Total entries that ever took the overflow spill path. *)
+(** Total entries that ever took the overflow spill path {e into this
+    ring}, whether they arrived through {!emplace_spilled}, the per-entry
+    copy of {!transfer_upto}, or a whole-batch adoption (adopted spilled
+    entries count exactly as the per-entry path would have counted
+    them — the two flush paths must agree byte-for-byte). *)
+
+val spilled_live : t -> int
+(** Spilled entries currently live in [head, tail): the part of
+    {!length} that is not backed by a pooled frame. *)

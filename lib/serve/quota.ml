@@ -1,0 +1,49 @@
+(* GCRA with an integer step counter.
+
+   State is (base, steps): the theoretical arrival time of the next
+   conforming request is [base + steps/rate], and a request at [now] is
+   conforming iff it is within the burst tolerance,
+
+     now >= base + (steps - burst + 1)/rate
+     <=>  (now - base) * rate >= steps - burst + 1.
+
+   Every decision computes that product from scratch — one subtraction
+   and one multiply against an exact integer — instead of advancing a
+   float accumulator per request, so there is no error term that can
+   compound across requests. [base] re-anchors to [now] whenever the
+   bucket has fully refilled (now past the TAT), which keeps [steps]
+   small under intermittent load; under sustained saturation [steps]
+   grows but the arithmetic stays two operations from exact inputs. *)
+
+type t = {
+  rate : float;
+  burst : int;
+  mutable base : float;
+  mutable steps : int;
+  mutable admits : int;
+}
+
+let create ~rate ~burst =
+  if rate <= 0. then invalid_arg "Quota.create: rate must be > 0";
+  if burst < 1 then invalid_arg "Quota.create: burst must be >= 1";
+  { rate; burst; base = 0.; steps = 0; admits = 0 }
+
+let admit t ~now =
+  if (now -. t.base) *. t.rate >= float_of_int (t.steps - t.burst + 1) then begin
+    let tat = t.base +. (float_of_int t.steps /. t.rate) in
+    if now > tat then begin
+      t.base <- now;
+      t.steps <- 1
+    end
+    else t.steps <- t.steps + 1;
+    t.admits <- t.admits + 1;
+    true
+  end
+  else false
+
+let admitted t = t.admits
+
+let tokens t ~now =
+  let avail = ((now -. t.base) *. t.rate) -. float_of_int t.steps
+              +. float_of_int t.burst in
+  Float.max 0. (Float.min (float_of_int t.burst) avail)

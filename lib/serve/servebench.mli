@@ -1,0 +1,55 @@
+(** The serving benchmark: run the open-loop workload through
+    {!Server.run}, verify the determinism contract, and emit
+    [BENCH_serve.json].
+
+    Shared by [altserve] (the interactive CLI) and [altcheck serve]
+    (the CI smoke entry point), so both produce the same record from
+    the same configs. *)
+
+type metrics = {
+  m_requests : int;
+  m_served : int;
+  m_failed : int;
+  m_shed : int;
+  m_shed_rate : float;  (** Shed / total arrivals. *)
+  m_p50 : float;  (** Latency percentiles over executed (non-shed) *)
+  m_p99 : float;  (** requests, virtual seconds. *)
+  m_p999 : float;
+  m_makespan : float;  (** Last completion time. *)
+  m_rps : float;  (** Executed requests per virtual second. *)
+  m_batches : int;
+  m_occupancy : int array;
+      (** [m_occupancy.(k)] = batches that closed with [k+1] jobs;
+          length [sv_max_batch]. *)
+  m_violations : int;
+}
+
+val metrics_of : Server.config -> Server.result -> metrics
+
+type verification = {
+  v_replay_identical : bool;
+      (** Second run of the same configs produced the same digest. *)
+  v_jobs_identical : bool;
+      (** [sv_jobs = 1] and [sv_jobs = n] produced the same digest. *)
+  v_digest : int64;
+}
+
+val run_verified :
+  Workload.config -> Server.config -> Server.result * metrics * verification
+(** Run the benchmark run plus its two determinism witnesses: a replay
+    with identical configs, and a single-domain run when [sv_jobs > 1]
+    (with [sv_jobs = 1] the jobs check is vacuously true — there is
+    nothing to compare against). *)
+
+val required_fields : string list
+(** The JSON schema, as field names — what [--validate] and the CI job
+    probe for. *)
+
+val to_json :
+  Workload.config -> Server.config -> metrics -> verification -> string
+(** The benchmark record, one field per line (the repo's hand-rolled
+    JSON idiom: unique keys, so substring probes suffice to validate). *)
+
+val validate : string -> (int, string list) result
+(** Probe a record's contents for every required field: [Ok count] or
+    [Error missing]. *)

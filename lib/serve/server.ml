@@ -1,0 +1,399 @@
+type verdict =
+  | Served of { alt : int; value : int }
+  | Failed of string
+  | Rejected of { tokens : float }
+
+type response = {
+  rs_id : int;
+  rs_tenant : int;
+  rs_batch : int;
+  rs_verdict : verdict;
+  rs_completion : float;
+  rs_latency : float;
+  rs_elapsed : float;
+  rs_wasted : float;
+}
+
+type batch_stat = {
+  bs_id : int;
+  bs_scenario : string;
+  bs_policy : int;
+  bs_size : int;
+  bs_close : float;
+  bs_start : float;
+  bs_done : float;
+}
+
+type config = {
+  sv_lanes : int;
+  sv_max_batch : int;
+  sv_window : float;
+  sv_quota_rate : float;
+  sv_quota_burst : int;
+  sv_overhead : float;
+  sv_sanitize : bool;
+  sv_jobs : int;
+}
+
+let default =
+  {
+    sv_lanes = 64;
+    sv_max_batch = 8;
+    sv_window = 0.05;
+    sv_quota_rate = 50.;
+    sv_quota_burst = 10;
+    sv_overhead = 0.0005;
+    sv_sanitize = false;
+    sv_jobs = 1;
+  }
+
+type result = {
+  responses : response array;
+  batches : batch_stat array;
+  violations : Report.violation list;
+  served : int;
+  failed : int;
+  shed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: admission and batch formation.
+
+   A single sequential scan over the (already time-ordered) arrivals.
+   Everything here is plain arithmetic on the request stream — no
+   engine, no parallelism — so the admission decisions and batch
+   boundaries are trivially a function of the two configs. Batches are
+   keyed by (scenario, policy): jobs in one batch share an engine, so
+   they must agree on everything that shapes it. *)
+
+type open_batch = {
+  ob_seq : int;  (* open order, breaks deadline ties deterministically *)
+  ob_scenario : string;
+  ob_policy : int;
+  ob_deadline : float;
+  mutable ob_jobs : Workload.request list;  (* newest first *)
+  mutable ob_count : int;
+}
+
+type closed_batch = {
+  cb_id : int;
+  cb_scenario : string;
+  cb_policy : int;
+  cb_close : float;
+  cb_jobs : Workload.request array;  (* arrival order *)
+}
+
+let close_batch ~id ~at ob =
+  {
+    cb_id = id;
+    cb_scenario = ob.ob_scenario;
+    cb_policy = ob.ob_policy;
+    cb_close = at;
+    cb_jobs = Array.of_list (List.rev ob.ob_jobs);
+  }
+
+let plan (wl : Workload.config) (sv : config) (requests : Workload.request array)
+    =
+  let quotas =
+    Array.init wl.Workload.wl_tenants (fun _ ->
+        Quota.create ~rate:sv.sv_quota_rate ~burst:sv.sv_quota_burst)
+  in
+  let opens : open_batch list ref = ref [] in
+  let open_seq = ref 0 in
+  let closed = ref [] in
+  let n_closed = ref 0 in
+  let rejected = ref [] in
+  let emit_close ~at ob =
+    closed := close_batch ~id:!n_closed ~at ob :: !closed;
+    incr n_closed
+  in
+  (* Expire every open batch whose window ended at or before [now], in
+     (deadline, open order): between two arrivals the window timers are
+     the only events, and they fire in time order. *)
+  let expire now =
+    let due, live =
+      List.partition (fun ob -> ob.ob_deadline <= now) !opens
+    in
+    opens := live;
+    List.sort
+      (fun a b ->
+        match compare a.ob_deadline b.ob_deadline with
+        | 0 -> compare a.ob_seq b.ob_seq
+        | c -> c)
+      due
+    |> List.iter (fun ob -> emit_close ~at:ob.ob_deadline ob)
+  in
+  Array.iter
+    (fun (rq : Workload.request) ->
+      let now = rq.Workload.rq_arrival in
+      expire now;
+      let q = quotas.(rq.Workload.rq_tenant) in
+      if not (Quota.admit q ~now) then
+        rejected := (rq, Quota.tokens q ~now) :: !rejected
+      else begin
+        let key ob =
+          String.equal ob.ob_scenario rq.Workload.rq_scenario
+          && ob.ob_policy = rq.Workload.rq_policy
+        in
+        let ob =
+          match List.find_opt key !opens with
+          | Some ob -> ob
+          | None ->
+              let ob =
+                {
+                  ob_seq = !open_seq;
+                  ob_scenario = rq.Workload.rq_scenario;
+                  ob_policy = rq.Workload.rq_policy;
+                  ob_deadline = now +. sv.sv_window;
+                  ob_jobs = [];
+                  ob_count = 0;
+                }
+              in
+              incr open_seq;
+              opens := !opens @ [ ob ];
+              ob
+        in
+        ob.ob_jobs <- rq :: ob.ob_jobs;
+        ob.ob_count <- ob.ob_count + 1;
+        if ob.ob_count >= sv.sv_max_batch then begin
+          opens := List.filter (fun o -> o != ob) !opens;
+          emit_close ~at:now ob
+        end
+      end)
+    requests;
+  expire infinity;
+  (Array.of_list (List.rev !closed), List.rev !rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: batch execution.
+
+   One engine per batch, jobs run back to back on it. The engine's seed
+   is derived from (workload seed, batch id) only, and batches share no
+   mutable state, so executing them on N domains in any order gives the
+   same per-batch results as one domain in dispatch order —
+   [Parallel.map_indexed] then hands them back in batch order either
+   way. Trace recording stays off (these runs are throughput, not
+   post-mortem); the sanitizer, when requested, watches through the
+   trace observer, which is live even with recording off. *)
+
+type job_result = {
+  jr_outcome : int Alt_block.outcome;
+  jr_elapsed : float;
+  jr_wasted : float;
+  jr_violations : Report.violation list;
+}
+
+let resolve_scenario name =
+  match Invariants.find_scenario name with
+  | Some sc -> sc
+  | None -> invalid_arg (Printf.sprintf "Server.run: unknown scenario %S" name)
+
+let resolve_policy idx =
+  match List.nth_opt Invariants.policy_matrix idx with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Server.run: policy index %d" idx)
+
+let execute_batch (wl : Workload.config) (sv : config) (cb : closed_batch) =
+  let engine =
+    Engine.create ~model:Cost_model.att_3b2
+      ~seed:((wl.Workload.wl_seed * 1_000_003) + cb.cb_id)
+      ~trace:false ()
+  in
+  let sanitizer = if sv.sv_sanitize then Some (Sanitizer.attach engine) else None in
+  let scenario = resolve_scenario cb.cb_scenario in
+  let policy = resolve_policy cb.cb_policy in
+  Array.map
+    (fun (rq : Workload.request) ->
+      let space =
+        Address_space.create (Engine.frame_store engine) (Engine.model engine)
+      in
+      Address_space.set_tracking space true;
+      scenario.Invariants.prepare engine space;
+      ignore (Address_space.drain_cost space);
+      let source =
+        if not scenario.Invariants.uses_source then None
+        else begin
+          let s =
+            Source.create engine
+              ~name:
+                (Printf.sprintf "%s-tty-%d" scenario.Invariants.sc_name
+                   rq.Workload.rq_id)
+          in
+          Source.feed s scenario.Invariants.source_script;
+          Some s
+        end
+      in
+      (match (sanitizer, source) with
+      | Some sz, Some src -> Sanitizer.observe_source sz src
+      | _ -> ());
+      let alts =
+        scenario.Invariants.alts engine ~seed:rq.Workload.rq_seed ~source
+      in
+      let report = Concurrent.run_toplevel engine ~policy ~space alts in
+      let violations =
+        Invariants.check_report ~scenario:cb.cb_scenario ~policy
+          ~seed:rq.Workload.rq_seed report
+      in
+      (* The engine hosts the next job's block too: reset the sanitizer's
+         at-most-once scope so job n+1's win is not a "duplicate" of job
+         n's. *)
+      (match sanitizer with Some sz -> Sanitizer.next_block sz | None -> ());
+      {
+        jr_outcome = report.Concurrent.outcome;
+        jr_elapsed = report.Concurrent.elapsed;
+        jr_wasted = report.Concurrent.wasted_cpu;
+        jr_violations = violations;
+      })
+    cb.cb_jobs
+  |> fun results ->
+  let sz_viols =
+    match sanitizer with
+    | None -> []
+    | Some sz ->
+        Sanitizer.detach sz;
+        Sanitizer.violations sz ~scenario:cb.cb_scenario
+          ~policy:(Concurrent.describe policy)
+          ~seed:cb.cb_id
+  in
+  (results, sz_viols)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: the lane timeline.
+
+   Virtual executors. Batches are dispatched in id (= close) order to
+   the earliest-free lane, lowest index winning ties; a batch's service
+   time is the dispatch overhead plus each job's own virtual elapsed
+   time scaled by its heavy-tail work multiplier, and jobs complete in
+   order at the running prefix sum. All plain folds — determinism needs
+   no argument here. *)
+
+let run (wl : Workload.config) (sv : config) =
+  if sv.sv_lanes < 1 then invalid_arg "Server.run: lanes must be >= 1";
+  if sv.sv_max_batch < 1 then invalid_arg "Server.run: max_batch must be >= 1";
+  if sv.sv_window < 0. then invalid_arg "Server.run: negative window";
+  if sv.sv_overhead < 0. then invalid_arg "Server.run: negative overhead";
+  let requests = Workload.generate wl in
+  List.iter
+    (fun name -> ignore (resolve_scenario name))
+    wl.Workload.wl_scenarios;
+  if wl.Workload.wl_policies > List.length Invariants.policy_matrix then
+    invalid_arg "Server.run: wl_policies exceeds the policy matrix";
+  let batches, rejected = plan wl sv requests in
+  let executed =
+    Parallel.map_indexed ~jobs:(max 1 sv.sv_jobs)
+      (fun i -> execute_batch wl sv batches.(i))
+      (Array.length batches)
+  in
+  let responses =
+    Array.make (Array.length requests)
+      {
+        rs_id = -1;
+        rs_tenant = -1;
+        rs_batch = -1;
+        rs_verdict = Failed "unreached";
+        rs_completion = 0.;
+        rs_latency = 0.;
+        rs_elapsed = 0.;
+        rs_wasted = 0.;
+      }
+  in
+  List.iter
+    (fun ((rq : Workload.request), tokens) ->
+      responses.(rq.Workload.rq_id) <-
+        {
+          rs_id = rq.Workload.rq_id;
+          rs_tenant = rq.Workload.rq_tenant;
+          rs_batch = -1;
+          rs_verdict = Rejected { tokens };
+          rs_completion = rq.Workload.rq_arrival;
+          rs_latency = 0.;
+          rs_elapsed = 0.;
+          rs_wasted = 0.;
+        })
+    rejected;
+  let lane_free = Array.make sv.sv_lanes 0. in
+  let violations = ref [] in
+  let served = ref 0 and failed = ref 0 in
+  let stats =
+    Array.mapi
+      (fun b (cb : closed_batch) ->
+        let jobs, sz_viols = executed.(b) in
+        let lane = ref 0 in
+        for l = 1 to sv.sv_lanes - 1 do
+          if lane_free.(l) < lane_free.(!lane) then lane := l
+        done;
+        let start = Float.max cb.cb_close lane_free.(!lane) in
+        let t = ref (start +. sv.sv_overhead) in
+        Array.iteri
+          (fun j (rq : Workload.request) ->
+            let jr = jobs.(j) in
+            t := !t +. (jr.jr_elapsed *. rq.Workload.rq_work);
+            let verdict =
+              match jr.jr_outcome with
+              | Alt_block.Selected { index; value } ->
+                  incr served;
+                  Served { alt = index; value }
+              | Alt_block.Block_failed reason ->
+                  incr failed;
+                  Failed reason
+            in
+            violations := List.rev_append jr.jr_violations !violations;
+            responses.(rq.Workload.rq_id) <-
+              {
+                rs_id = rq.Workload.rq_id;
+                rs_tenant = rq.Workload.rq_tenant;
+                rs_batch = cb.cb_id;
+                rs_verdict = verdict;
+                rs_completion = !t;
+                rs_latency = !t -. rq.Workload.rq_arrival;
+                rs_elapsed = jr.jr_elapsed;
+                rs_wasted = jr.jr_wasted;
+              })
+          cb.cb_jobs;
+        violations := List.rev_append sz_viols !violations;
+        lane_free.(!lane) <- !t;
+        {
+          bs_id = cb.cb_id;
+          bs_scenario = cb.cb_scenario;
+          bs_policy = cb.cb_policy;
+          bs_size = Array.length cb.cb_jobs;
+          bs_close = cb.cb_close;
+          bs_start = start;
+          bs_done = !t;
+        })
+      batches
+  in
+  {
+    responses;
+    batches = stats;
+    violations = List.rev !violations;
+    served = !served;
+    failed = !failed;
+    shed = List.length rejected;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let render_verdict = function
+  | Served { alt; value } -> Printf.sprintf "served:%d:%d" alt value
+  | Failed reason -> Printf.sprintf "failed:%s" reason
+  | Rejected { tokens } -> Printf.sprintf "rejected:%.17g" tokens
+
+let render_response rs =
+  Printf.sprintf "%d|%d|%d|%s|%.17g|%.17g|%.17g|%.17g" rs.rs_id rs.rs_tenant
+    rs.rs_batch (render_verdict rs.rs_verdict) rs.rs_completion rs.rs_latency
+    rs.rs_elapsed rs.rs_wasted
+
+let digest r =
+  let h = ref 0xcbf29ce484222325L in
+  let mix s =
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001b3L)
+      s
+  in
+  Array.iter (fun rs -> mix (render_response rs)) r.responses;
+  !h

@@ -1,0 +1,83 @@
+(** The request-driven serving layer.
+
+    Each {!Workload.request} names an alternative block — scenario,
+    policy, seed — and the server answers it with the block's winner and
+    an honest cost report, or sheds it with an explicit [Rejected]
+    verdict when the tenant's token bucket is empty. Admitted requests
+    are batched with {e compatible} jobs (same scenario and policy: they
+    share engine configuration, so one engine serves the whole batch)
+    and batches execute on a fixed set of lanes.
+
+    Determinism contract: the whole pipeline — admission decisions,
+    batch boundaries, dispatch order, per-request responses — is a pure
+    function of the workload and server configs. Batches may {e execute}
+    on several domains ([sv_jobs]), but each batch builds its entire
+    engine-world from its own seed and results are folded back in batch
+    order, so [sv_jobs = 1] and [sv_jobs = n] are byte-identical
+    ({!digest} equal). *)
+
+(** What the server answered. *)
+type verdict =
+  | Served of { alt : int; value : int }
+      (** The block selected alternative [alt] with result [value]. *)
+  | Failed of string  (** The block genuinely failed; the reason. *)
+  | Rejected of { tokens : float }
+      (** Shed at admission: the tenant's bucket held [tokens] < 1. An
+          honest verdict, not an error — the client is told exactly why. *)
+
+type response = {
+  rs_id : int;  (** The request's [rq_id]. *)
+  rs_tenant : int;
+  rs_batch : int;  (** Executing batch id; [-1] when rejected. *)
+  rs_verdict : verdict;
+  rs_completion : float;
+      (** Virtual completion time. Rejections complete at arrival. *)
+  rs_latency : float;  (** [completion - arrival]; [0.] for rejections. *)
+  rs_elapsed : float;  (** The block's own virtual elapsed time. *)
+  rs_wasted : float;  (** Speculation's [wasted_cpu] for this block. *)
+}
+
+type batch_stat = {
+  bs_id : int;
+  bs_scenario : string;
+  bs_policy : int;
+  bs_size : int;
+  bs_close : float;  (** When the batch closed (full, or window expiry). *)
+  bs_start : float;  (** When a lane picked it up. *)
+  bs_done : float;  (** [bs_start + overhead + sum of job services]. *)
+}
+
+type config = {
+  sv_lanes : int;  (** Service lanes (virtual executors). *)
+  sv_max_batch : int;  (** Occupancy that closes a batch immediately. *)
+  sv_window : float;  (** Max virtual time a batch waits open. *)
+  sv_quota_rate : float;  (** Per-tenant token refill rate (tokens/s). *)
+  sv_quota_burst : int;  (** Per-tenant bucket depth. *)
+  sv_overhead : float;  (** Fixed per-batch dispatch cost (s). *)
+  sv_sanitize : bool;  (** Attach the online sanitizer to each engine. *)
+  sv_jobs : int;  (** Domains executing batches. *)
+}
+
+val default : config
+(** 64 lanes (a block's mean service time is ~0.2 virtual seconds, so 64
+    lanes keep the default 200 req/s open-loop load below saturation),
+    batches of up to 8 closing after 0.05s, quota 50 tokens/s with burst
+    10, 0.0005s dispatch overhead, no sanitizer, 1 job. *)
+
+type result = {
+  responses : response array;  (** Indexed by [rq_id]. *)
+  batches : batch_stat array;  (** In dispatch order. *)
+  violations : Report.violation list;
+      (** Per-request report audits ({!Invariants.check_report}) plus
+          sanitizer flags; empty on a healthy run. *)
+  served : int;
+  failed : int;
+  shed : int;
+}
+
+val run : Workload.config -> config -> result
+(** Generate the workload and serve it to completion. *)
+
+val digest : result -> int64
+(** FNV-1a over every response's rendered fields — the replay fingerprint
+    [altserve --verify-determinism] and the jobs-1-vs-N check compare. *)

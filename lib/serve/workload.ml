@@ -1,0 +1,97 @@
+type request = {
+  rq_id : int;
+  rq_tenant : int;
+  rq_arrival : float;
+  rq_scenario : string;
+  rq_policy : int;
+  rq_seed : int;
+  rq_work : float;
+}
+
+type config = {
+  wl_seed : int;
+  wl_requests : int;
+  wl_rate : float;
+  wl_tenants : int;
+  wl_zipf : float;
+  wl_tail : float;
+  wl_tail_cap : float;
+  wl_scenarios : string list;
+  wl_policies : int;
+}
+
+let default =
+  {
+    wl_seed = 1;
+    wl_requests = 2000;
+    wl_rate = 200.;
+    wl_tenants = 100;
+    wl_zipf = 1.1;
+    wl_tail = 1.5;
+    wl_tail_cap = 20.;
+    wl_scenarios = [ "counters"; "guarded" ];
+    wl_policies = 8;
+  }
+
+(* Zipf sampling by inversion over the precomputed CDF: tenant k gets
+   weight (k+1)^-s. The table is built once per [generate]; requests
+   then cost one uniform draw and a binary search. *)
+let zipf_cdf ~tenants ~s =
+  let w = Array.init tenants (fun k -> (float_of_int (k + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cdf = Array.make tenants 0. in
+  let acc = ref 0. in
+  for k = 0 to tenants - 1 do
+    acc := !acc +. (w.(k) /. total);
+    cdf.(k) <- !acc
+  done;
+  cdf.(tenants - 1) <- 1.;
+  cdf
+
+let zipf_pick cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u <= cdf.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Bounded Pareto via inverse transform: heavy-tailed service demand
+   without unbounded outliers that would make a smoke run open-ended. *)
+let pareto rng ~shape ~cap =
+  let u = Rng.float rng 1. in
+  Float.min cap ((1. -. u) ** (-1. /. shape))
+
+let validate c =
+  if c.wl_requests < 0 then invalid_arg "Workload.generate: negative requests";
+  if c.wl_rate <= 0. then invalid_arg "Workload.generate: rate must be > 0";
+  if c.wl_tenants < 1 then invalid_arg "Workload.generate: no tenants";
+  if c.wl_scenarios = [] then invalid_arg "Workload.generate: no scenarios";
+  if c.wl_policies < 1 then invalid_arg "Workload.generate: no policies";
+  if c.wl_tail <= 0. then invalid_arg "Workload.generate: tail shape <= 0"
+
+let generate c =
+  validate c;
+  let rng = Rng.create ~seed:c.wl_seed in
+  let cdf = zipf_cdf ~tenants:c.wl_tenants ~s:c.wl_zipf in
+  let scenarios = Array.of_list c.wl_scenarios in
+  let clock = ref 0. in
+  Array.init c.wl_requests (fun i ->
+      (* One fixed draw order per request — interarrival, tenant,
+         scenario, policy, seed, work — so the stream replays exactly. *)
+      clock := !clock +. Rng.exponential rng ~mean:(1. /. c.wl_rate);
+      let tenant = zipf_pick cdf (Rng.float rng 1.) in
+      let scenario = scenarios.(Rng.int rng (Array.length scenarios)) in
+      let policy = Rng.int rng c.wl_policies in
+      let seed = 1 + Rng.int rng 9973 in
+      let work = pareto rng ~shape:c.wl_tail ~cap:c.wl_tail_cap in
+      {
+        rq_id = i;
+        rq_tenant = tenant;
+        rq_arrival = !clock;
+        rq_scenario = scenario;
+        rq_policy = policy;
+        rq_seed = seed;
+        rq_work = work;
+      })

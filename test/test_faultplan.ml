@@ -259,6 +259,56 @@ let test_same_seeds_same_injections () =
   check (Alcotest.float 0.) "identical final virtual time" t1 t2;
   check Alcotest.bool "the p=0.5 stream did fire" true (List.length i1 > 0)
 
+(* Satellite regression for F_duplicate on spilled outbox entries
+   (uid = -1 inside the ring), end to end under a drop+duplicate fault
+   plan with the online sanitizer attached: the duplicate copies share
+   one immutable cached message, so neither physical-identity dedup
+   (what [Mailbox.copy_excluding] uses for world splits) nor the
+   per-sender reply tally in [Majority] can be defeated, and the
+   sanitizer's frame-ownership / happens-before tracking must not
+   misattribute the shared value — its verdict has to agree with the
+   post-mortem oracle on every checked class (any disagreement is an
+   exit-17 [Report.Sanitizer] divergence from [run_checked]). *)
+let test_sanitized_drop_duplicate_plan_stays_clean () =
+  let policy =
+    {
+      Concurrent.default_policy with
+      sync =
+        Concurrent.Consensus
+          { nodes = 3; crashed = []; vote_delay = 0.0002; reply_timeout = 0.5 };
+      sync_retries = 3;
+      sync_backoff = 0.02;
+    }
+  in
+  let faults eng =
+    Faultplan.install
+      (Faultplan.make ~seed:13
+         [
+           Faultplan.message ~p:0.3 ~tag:"vote_rep" Faultplan.Drop;
+           Faultplan.message ~tag:"vote_rep" Faultplan.Duplicate;
+           Faultplan.message ~p:0.5 ~tag:"vote_req" Faultplan.Duplicate;
+         ])
+      eng
+  in
+  List.iter
+    (fun sc_name ->
+      let sc = Option.get (Invariants.find_scenario sc_name) in
+      List.iter
+        (fun seed ->
+          let rr, vs =
+            Invariants.run_checked ~faults ~sanitize:true sc ~policy ~seed
+          in
+          check Alcotest.int
+            (Printf.sprintf "%s seed %d: no violations, no divergence" sc_name
+               seed)
+            0 (List.length vs);
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d: the plan did inject" sc_name seed)
+            true
+            (History.faulted (History.of_trace (Engine.trace rr.Invariants.engine))))
+        [ 1; 2; 3 ])
+    [ "counters"; "guarded" ]
+
 let () =
   Alcotest.run "faultplan"
     [
@@ -283,5 +333,7 @@ let () =
             test_crash_then_revive_heals;
           Alcotest.test_case "same seeds, same injections" `Quick
             test_same_seeds_same_injections;
+          Alcotest.test_case "sanitized drop+duplicate plan stays clean"
+            `Quick test_sanitized_drop_duplicate_plan_stays_clean;
         ] );
     ]

@@ -334,6 +334,153 @@ let test_batch_vs_zero_timeout_polls () =
     drained;
   check Alcotest.bool "and then the well is dry" true (!final = None)
 
+(* ---------------- the batch-join guard vs zero-delay timers ----------------
+
+   The open-batch join guard used to be "same flush time + unmoved
+   event-queue stamp". The stamp counts only pushes: a zero-delay timer
+   that pops and runs between two sends at the same virtual time — here by
+   filling an ivar whose parked waiter resumes synchronously inside the
+   timer's event — moves neither the stamp nor the flush time, so the
+   second send silently joined a batch an event had ordered into. An
+   intervening event must flush the open batch. *)
+
+let deliveries eng =
+  Trace.find_all (Engine.trace eng) ~f:(function
+    | Trace.Delivered _ -> true
+    | _ -> false)
+  |> List.map (function
+       | _, Trace.Delivered { msg; _ } -> msg.Message.payload
+       | _ -> Payload.Unit)
+
+let run_timer_between_sends ~force_per_entry =
+  let eng = Engine.create () in
+  if force_per_entry then
+    Engine.set_delivery_fault eng (Some (fun _ ~dest:_ -> true));
+  let got = ref [] in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        for _ = 1 to 2 do
+          got := (Engine.receive ctx ()).Message.payload :: !got
+        done)
+  in
+  let iv = Engine.Ivar.create () in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"src" (fun ctx ->
+         Engine.send ctx receiver (Payload.int 1);
+         ignore (Engine.Ivar.read ctx iv);
+         Engine.send ctx receiver (Payload.int 2)));
+  (* Scheduled after src's start event at the same virtual time: it pops
+     (moving no stamp), fills the ivar, and src's continuation sends again
+     synchronously inside the timer's event. *)
+  Engine.after eng ~delay:0. (fun () -> ignore (Engine.Ivar.try_fill iv 0));
+  Engine.run eng;
+  (eng, List.rev !got)
+
+let test_zero_delay_timer_flushes_open_batch () =
+  let eng, got = run_timer_between_sends ~force_per_entry:false in
+  let batches =
+    Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Delivered_batch _ -> true
+      | _ -> false)
+  in
+  check Alcotest.int "an intervening event flushed the open batch" 0 batches;
+  check
+    (Alcotest.list Alcotest.int)
+    "per-channel FIFO kept"
+    [ 1; 2 ]
+    (List.map (function Payload.Int i -> i | _ -> -1) got);
+  (* Determinism: the forced per-entry path receives and traces the very
+     same delivery sequence. *)
+  let eng', got' = run_timer_between_sends ~force_per_entry:true in
+  check Alcotest.bool "received order matches the per-entry path" true
+    (got = got');
+  check Alcotest.bool "traced delivery order matches too" true
+    (deliveries eng = deliveries eng');
+  (* Control: two back-to-back sends in one event still batch — the new
+     guard only breaks joins an event ordered into. *)
+  let eng2 = Engine.create () in
+  let r2 =
+    Engine.spawn eng2 ~cloneable:false ~name:"sink" (fun ctx ->
+        for _ = 1 to 2 do
+          ignore (Engine.receive ctx ())
+        done)
+  in
+  ignore
+    (Engine.spawn eng2 ~cloneable:false ~name:"src" (fun ctx ->
+         Engine.send ctx r2 (Payload.int 1);
+         Engine.send ctx r2 (Payload.int 2)));
+  Engine.run eng2;
+  check Alcotest.int "uninterrupted sends still coalesce" 1
+    (Trace.count (Engine.trace eng2) ~f:(function
+      | Trace.Delivered_batch { count = 2; _ } -> true
+      | _ -> false))
+
+(* ---------------- spilled duplicates (fault injection) ----------------
+
+   [F_duplicate] on a send whose outbox entry takes the spill path
+   (uid = -1 inside the ring) pushes two entries sharing one immutable
+   cached message. The shared value must behave as one logical send:
+   receivers see both copies adjacent in FIFO order, the copies are
+   physically identical (so they cannot diverge, and physical-identity /
+   (sender, seq) dedup — what [Majority] uses — collapses them to one),
+   and the batched flush path agrees byte-for-byte with the per-entry
+   path. *)
+let run_burst_with_duplicates ~trace ~n =
+  let eng = Engine.create ~trace () in
+  (* Duplicate every data message; the burst of [n] in a single event
+     overflows the sender's 64-frame outbox pool, so the tail entries —
+     and their duplicates — are spilled, not framed. *)
+  Engine.set_message_fault eng
+    (Some (fun m -> if m.Message.tag = "d" then Engine.F_duplicate else Engine.F_deliver));
+  let got = ref [] in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~name:"sink" (fun ctx ->
+        for _ = 1 to 2 * n do
+          got := Engine.receive ctx ~tag:"d" () :: !got
+        done)
+  in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"burst" (fun ctx ->
+         for i = 0 to n - 1 do
+           Engine.send ctx ~tag:"d" receiver (Payload.int i)
+         done));
+  Engine.run eng;
+  List.rev !got
+
+let test_spilled_duplicates_stay_one_logical_send () =
+  let n = 100 in
+  let got = run_burst_with_duplicates ~trace:false ~n in
+  check Alcotest.int "every copy of every send arrived" (2 * n)
+    (List.length got);
+  (* FIFO with copies adjacent: seq sequence is 0,0,1,1,2,2,... *)
+  List.iteri
+    (fun k m ->
+      check Alcotest.int
+        (Printf.sprintf "copy order @%d" k)
+        (k / 2) m.Message.seq)
+    got;
+  (* Physical identity: both copies of a spilled send are the one shared
+     immutable message — aliasing cannot make them diverge, and dedup by
+     physical identity (or (sender, seq), as Majority tallies votes)
+     counts one vote. Sampled well past the 64-frame pool. *)
+  let copies s = List.filter (fun m -> m.Message.seq = s) got in
+  (match copies 90 with
+  | [ a; b ] ->
+    check Alcotest.bool "spilled duplicate shares the message value" true
+      (a == b)
+  | l -> Alcotest.failf "expected 2 copies of seq 90, got %d" (List.length l));
+  let distinct = Hashtbl.create 64 in
+  List.iter
+    (fun m -> Hashtbl.replace distinct (m.Message.sender, m.Message.seq) ())
+    got;
+  check Alcotest.int "dedup collapses every pair to one logical send" n
+    (Hashtbl.length distinct);
+  (* The per-entry (traced) path delivers the identical sequence. *)
+  let got' = run_burst_with_duplicates ~trace:true ~n in
+  check Alcotest.bool "batched path = per-entry path" true
+    (List.map (fun m -> (m.Message.seq, m.Message.payload)) got
+    = List.map (fun m -> (m.Message.seq, m.Message.payload)) got')
+
 (* ---------------- bulk transfer / adoption ---------------- *)
 
 let test_transfer_into_empty_ring_adopts () =
@@ -377,6 +524,79 @@ let test_transfer_into_nonempty_ring_copies () =
       | _ -> Alcotest.fail "unexpected payload")
     expected
 
+(* Regression: whole-batch adoption used to skip the spill accounting the
+   per-entry path records. A destination that adopts a batch containing
+   spilled entries must show exactly the [spilled_total] the copying path
+   would have produced — the two flush paths are required to be
+   indistinguishable. Pre-fix this reported 0 after an adoption. *)
+let test_adoption_spilled_accounting_matches_copy_path () =
+  let mk_src () =
+    let src = Mailbox.create ~capacity:4 () in
+    for i = 0 to 9 do
+      fill_one src ~uid:i ~tag:"t" (Payload.int i)
+    done;
+    src
+  in
+  (* Reference: the forced per-entry path (a partial transfer first, so
+     the adoption guard never applies). *)
+  let src = mk_src () in
+  let dst_copy = Mailbox.create ~capacity:4 () in
+  Mailbox.transfer_upto src ~upto:(Mailbox.head_pos src + 1) dst_copy;
+  Mailbox.transfer_upto src ~upto:(Mailbox.tail_pos src) dst_copy;
+  (* Same batch through the O(1) adoption path. *)
+  let src = mk_src () in
+  let dst_adopt = Mailbox.create ~capacity:4 () in
+  Mailbox.transfer_upto src ~upto:(Mailbox.tail_pos src) dst_adopt;
+  check Alcotest.int "both paths moved everything" (Mailbox.length dst_copy)
+    (Mailbox.length dst_adopt);
+  check Alcotest.int "source spilled 6 of 10" 6 (Mailbox.spilled_total src);
+  check Alcotest.int "adoption accounts the spilled entries"
+    (Mailbox.spilled_total dst_copy)
+    (Mailbox.spilled_total dst_adopt);
+  check Alcotest.int "live spill census matches too"
+    (Mailbox.spilled_live dst_copy)
+    (Mailbox.spilled_live dst_adopt);
+  check Alcotest.int "source's live spill census drained" 0
+    (Mailbox.spilled_live src);
+  (* Draining returns the census to zero while the totals stay put. *)
+  for i = 0 to 9 do
+    match (pop_front dst_adopt).Message.payload with
+    | Payload.Int j -> check Alcotest.int "adopted order" i j
+    | _ -> Alcotest.fail "unexpected payload"
+  done;
+  check Alcotest.int "drained census" 0 (Mailbox.spilled_live dst_adopt);
+  check Alcotest.int "total is monotone" 6 (Mailbox.spilled_total dst_adopt)
+
+(* The destination pool exhausting mid-batch: the first entries of the
+   transfer land in destination frames, the rest spill — and the
+   spilled-vs-framed interleaving must preserve per-channel FIFO order
+   exactly (locking the current behavior, which is correct: entries are
+   appended in position order whichever representation they take). *)
+let test_transfer_fifo_when_dst_pool_exhausts_mid_batch () =
+  let src = Mailbox.create ~capacity:8 () in
+  for i = 10 to 17 do
+    fill_one src ~uid:i ~tag:"t" (Payload.int i)
+  done;
+  (* Two resident framed entries leave the 4-frame destination pool with
+     only two free frames for an 8-entry batch. *)
+  let dst = Mailbox.create ~capacity:4 () in
+  fill_one dst ~uid:0 ~tag:"t" (Payload.int 0);
+  fill_one dst ~uid:1 ~tag:"t" (Payload.int 1);
+  Mailbox.transfer_upto src ~upto:(Mailbox.tail_pos src) dst;
+  check Alcotest.int "all appended" 10 (Mailbox.length dst);
+  check Alcotest.int "pool stayed at its bound" 4 (Mailbox.frames_made dst);
+  check Alcotest.int "overflow of the batch spilled" 6
+    (Mailbox.spilled_total dst);
+  check Alcotest.int "spill census agrees" 6 (Mailbox.spilled_live dst);
+  List.iteri
+    (fun k e ->
+      match (pop_front dst).Message.payload with
+      | Payload.Int j ->
+        check Alcotest.int (Printf.sprintf "FIFO across the boundary @%d" k) e j
+      | _ -> Alcotest.fail "unexpected payload")
+    [ 0; 1; 10; 11; 12; 13; 14; 15; 16; 17 ];
+  check Alcotest.int "census zero after drain" 0 (Mailbox.spilled_live dst)
+
 let test_drop_upto_discards () =
   let ring = Mailbox.create ~capacity:2 () in
   for i = 0 to 5 do
@@ -411,6 +631,8 @@ let () =
             test_frame_recycle_cannot_corrupt_copy;
           Alcotest.test_case "duplicate fault copies do not alias" `Quick
             test_duplicate_copies_do_not_alias;
+          Alcotest.test_case "spilled duplicates stay one logical send" `Quick
+            test_spilled_duplicates_stay_one_logical_send;
         ] );
       ( "hot path",
         [
@@ -420,6 +642,8 @@ let () =
             test_size_stamped_and_payload_frozen_at_send;
           Alcotest.test_case "batched delivery vs zero-timeout polls" `Quick
             test_batch_vs_zero_timeout_polls;
+          Alcotest.test_case "zero-delay timer flushes the open batch" `Quick
+            test_zero_delay_timer_flushes_open_batch;
         ] );
       ( "bulk",
         [
@@ -427,6 +651,10 @@ let () =
             test_transfer_into_empty_ring_adopts;
           Alcotest.test_case "transfer into non-empty ring copies" `Quick
             test_transfer_into_nonempty_ring_copies;
+          Alcotest.test_case "adoption spilled accounting = copy path" `Quick
+            test_adoption_spilled_accounting_matches_copy_path;
+          Alcotest.test_case "FIFO when destination pool exhausts mid-batch"
+            `Quick test_transfer_fifo_when_dst_pool_exhausts_mid_batch;
           Alcotest.test_case "drop_upto discards a prefix" `Quick
             test_drop_upto_discards;
         ] );
