@@ -47,6 +47,16 @@ let jobs_arg =
           "Worker domains for the sweep (default: one per core). The \
            violation report is identical for every value of $(docv).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Event-loop shards inside every engine ($(b,Engine.create) \
+           $(i,?shards)). Reports are byte-identical for every value of \
+           $(docv); cross-shard traffic pays staged barrier exchanges \
+           ($(b,altbench shard) measures the crossover).")
+
 let sanitize_arg =
   Arg.(
     value & flag
@@ -120,10 +130,10 @@ let run_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Print only violations and the summary.")
   in
-  let run seeds names dump quiet jobs sanitize =
+  let run seeds names dump quiet jobs sanitize shards =
     let scenarios = scenarios_of_names names in
     let cells = Invariants.matrix_cells ~seeds ~scenarios () in
-    let results = Invariants.run_cells ~jobs ~sanitize cells in
+    let results = Invariants.run_cells ~jobs ~sanitize ~shards cells in
     (* Results are in cell order, so everything below — the per-policy
        progress lines, the violation listing, the dumped run and the
        exit code — is independent of [jobs]. *)
@@ -182,7 +192,9 @@ let run_cmd =
     exit (Report.exit_code violations)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ seeds $ names $ dump $ quiet $ jobs_arg $ sanitize_arg)
+    Term.(
+      const run $ seeds $ names $ dump $ quiet $ jobs_arg $ sanitize_arg
+      $ shards_arg)
 
 (* ---------------- fuzz ---------------- *)
 
@@ -228,7 +240,8 @@ let fuzz_cmd =
       & info [ "q"; "quiet" ]
           ~doc:"Print only violations, mismatches and the summary.")
   in
-  let run seeds names campaign_names verify list_campaigns quiet jobs sanitize =
+  let run seeds names campaign_names verify list_campaigns quiet jobs sanitize
+      shards =
     if list_campaigns then begin
       Printf.printf "campaigns:\n";
       List.iter
@@ -260,7 +273,9 @@ let fuzz_cmd =
               exit 1)
           names
     in
-    let result = Fuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify ~sanitize () in
+    let result =
+      Fuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify ~sanitize ~shards ()
+    in
     if not quiet then List.iter print_endline result.Fuzz.lines;
     List.iter
       (fun v -> Format.printf "%a@." Report.pp_violation v)
@@ -285,7 +300,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
-      $ quiet $ jobs_arg $ sanitize_arg)
+      $ quiet $ jobs_arg $ sanitize_arg $ shards_arg)
 
 (* ---------------- sites ---------------- *)
 
@@ -334,7 +349,8 @@ let sites_cmd =
       & info [ "q"; "quiet" ]
           ~doc:"Print only violations, mismatches and the summary.")
   in
-  let run seeds names campaign_names verify list_campaigns quiet jobs sanitize =
+  let run seeds names campaign_names verify list_campaigns quiet jobs sanitize
+      shards =
     if list_campaigns then begin
       Printf.printf "topology: %s\n" (String.concat " " Sitefuzz.site_names);
       Printf.printf "campaigns:\n";
@@ -390,7 +406,8 @@ let sites_cmd =
           names
     in
     let result =
-      Sitefuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify ~sanitize ()
+      Sitefuzz.run ~jobs ~seeds ~scenarios ~campaigns ~verify ~sanitize ~shards
+        ()
     in
     if not quiet then List.iter print_endline result.Sitefuzz.lines;
     List.iter
@@ -417,7 +434,7 @@ let sites_cmd =
   Cmd.v (Cmd.info "sites" ~doc)
     Term.(
       const run $ seeds $ names $ campaign_names $ verify $ list_campaigns
-      $ quiet $ jobs_arg $ sanitize_arg)
+      $ quiet $ jobs_arg $ sanitize_arg $ shards_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -837,12 +854,17 @@ let serve_cmd =
             "Fail unless the replay digest and the jobs-1 digest both \
              match the run.")
   in
-  let run seed requests out validate verify sanitize jobs =
+  let run seed requests out validate verify sanitize jobs shards =
     let wl =
       { Workload.default with Workload.wl_seed = seed; wl_requests = requests }
     in
     let sv =
-      { Server.default with Server.sv_sanitize = sanitize; sv_jobs = jobs }
+      {
+        Server.default with
+        Server.sv_sanitize = sanitize;
+        sv_jobs = jobs;
+        sv_shards = shards;
+      }
     in
     let result, m, v = Servebench.run_verified wl sv in
     Printf.printf
@@ -852,7 +874,8 @@ let serve_cmd =
     List.iter
       (fun viol -> Format.eprintf "%a@." Report.pp_violation viol)
       result.Server.violations;
-    let json = Servebench.to_json wl sv m v in
+    let pc = Servebench.measure_pool_cost ~jobs:sv.Server.sv_jobs in
+    let json = Servebench.to_json wl sv m v pc in
     let oc =
       try open_out out
       with Sys_error msg ->
@@ -889,7 +912,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ seed $ requests $ out $ validate $ verify $ sanitize_arg
-      $ jobs_arg)
+      $ jobs_arg $ shards_arg)
 
 (* ---------------- codes ---------------- *)
 

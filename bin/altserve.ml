@@ -97,7 +97,15 @@ let sv_term =
             "Worker domains executing batches (default: one per core). \
              Responses are identical for every value of $(docv).")
   in
-  let mk lanes max_batch window quota_rate quota_burst sanitize jobs =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Event-loop shards inside each batch engine. Responses are \
+             identical for every value of $(docv).")
+  in
+  let mk lanes max_batch window quota_rate quota_burst sanitize jobs shards =
     {
       Server.sv_lanes = lanes;
       sv_max_batch = max_batch;
@@ -107,11 +115,12 @@ let sv_term =
       sv_overhead = Server.default.Server.sv_overhead;
       sv_sanitize = sanitize;
       sv_jobs = jobs;
+      sv_shards = shards;
     }
   in
   Term.(
     const mk $ lanes $ max_batch $ window $ quota_rate $ quota_burst
-    $ sanitize $ jobs)
+    $ sanitize $ jobs $ shards)
 
 (* The wall-clock throughput floor: far below what even one core
    sustains on the default smoke load, so only a real regression (or a
@@ -139,7 +148,8 @@ let main wl sv out validate verify_determinism =
   List.iter
     (fun viol -> Format.eprintf "%a@." Report.pp_violation viol)
     result.Server.violations;
-  let json = Servebench.to_json wl sv m v in
+  let pc = Servebench.measure_pool_cost ~jobs:sv.Server.sv_jobs in
+  let json = Servebench.to_json wl sv m v pc in
   let oc =
     try open_out out
     with Sys_error msg ->

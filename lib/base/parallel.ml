@@ -109,6 +109,12 @@ let map_indexed_pool p f n =
       Mutex.unlock p.m;
       invalid_arg "Parallel.map_indexed: pool is shut down"
     end;
+    (* One batch at a time: a second caller (two top-level sweeps sharing
+       the persistent pool) queues behind the current batch instead of
+       corrupting it. Still not re-entrant from inside a job. *)
+    while p.batch <> None do
+      Condition.wait p.batch_done p.m
+    done;
     p.batch <- Some b;
     Condition.broadcast p.work_ready;
     (* The caller's domain is a worker too. *)
@@ -151,3 +157,41 @@ let map_indexed ~jobs f n =
 let run ~jobs thunks =
   let a = Array.of_list thunks in
   map_indexed ~jobs (fun i -> a.(i) ()) (Array.length a)
+
+(* ------------------------------------------------------------------ *)
+(* The persistent shared pool: created on first use, reused by every
+   subsequent batch. Spawning a domain costs a systhread, a minor heap
+   and a GC registration — per-batch creation (the old [map_indexed]
+   path) pays that for every serving batch and every sweep; the shared
+   pool pays it once per process. The pool is resized (shutdown +
+   recreate) only when a caller asks for a different worker count, which
+   in practice happens at most once per process run. *)
+
+let shared_mu = Mutex.create ()
+let shared_pool : pool option ref = ref None
+
+let shared ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.shared: jobs must be >= 1";
+  Mutex.lock shared_mu;
+  let p =
+    match !shared_pool with
+    | Some p when p.jobs = jobs && not p.stop -> p
+    | prev ->
+      (match prev with Some p -> shutdown p | None -> ());
+      let p = create ~jobs in
+      shared_pool := Some p;
+      p
+  in
+  Mutex.unlock shared_mu;
+  p
+
+let shutdown_shared () =
+  Mutex.lock shared_mu;
+  (match !shared_pool with Some p -> shutdown p | None -> ());
+  shared_pool := None;
+  Mutex.unlock shared_mu
+
+let map_indexed_shared ~jobs f n =
+  if jobs < 1 then invalid_arg "Parallel.map_indexed: jobs must be >= 1";
+  if jobs = 1 || n <= 1 then sequential f n
+  else map_indexed_pool (shared ~jobs) f n

@@ -52,3 +52,29 @@ val map_indexed : jobs:int -> (int -> 'a) -> int -> 'a array
 val run : jobs:int -> (unit -> 'a) list -> 'a array
 (** Run a fixed list of thunks across [jobs] domains, results in list
     order. *)
+
+(** {2 The persistent shared pool}
+
+    {!map_indexed} spawns and joins [jobs - 1] domains on {e every}
+    call; a serving loop that dispatches hundreds of batches pays that
+    per batch. The shared pool is created on first use and reused for
+    the life of the process — the serving layer and the sweep runners
+    all dispatch through it. *)
+
+val shared : jobs:int -> pool
+(** The process-wide pool, created on first use with [jobs] workers and
+    reused afterwards. Asking for a different [jobs] than the cached
+    pool's shuts it down and recreates it (rare: worker counts are
+    per-run constants). Thread-safe. *)
+
+val map_indexed_shared : jobs:int -> (int -> 'a) -> int -> 'a array
+(** Like {!map_indexed} but dispatching through {!shared} instead of
+    creating a pool per call. [jobs:1] is exactly the sequential path
+    (no pool, no domains — the determinism-contract baseline).
+    Concurrent batches from different domains serialise; it is still
+    not re-entrant from inside a job. *)
+
+val shutdown_shared : unit -> unit
+(** Join the shared pool's domains (benchmarks use this to measure pool
+    reuse against per-batch creation). The next {!shared} call recreates
+    it. *)

@@ -19,6 +19,20 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* A keyed stream: state = mix(seed + (key+1)·γ), i.e. the (key+1)-th
+   output of a SplitMix64 generator seeded with [seed], used as a fresh
+   seed. Two distinct keys give statistically independent streams, and —
+   unlike [split], whose result depends on how many draws preceded it —
+   the stream is a pure function of (seed, key). The sharded engine keys
+   one stream per process by pid, so a process's draw sequence does not
+   depend on the shard count or on any other process's draws. *)
+let stream ~seed ~key =
+  let s =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul (Int64.of_int (key + 1)) golden_gamma)
+  in
+  { state = mix s }
+
 (* Keep 62 bits: OCaml's native int has 63, so a 62-bit value is always
    non-negative after Int64.to_int. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)

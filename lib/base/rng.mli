@@ -16,6 +16,14 @@ val split : t -> t
     each simulated process / workload its own stream without coupling their
     consumption rates. *)
 
+val stream : seed:int -> key:int -> t
+(** [stream ~seed ~key] is an independent generator that is a {e pure
+    function} of [(seed, key)] — unlike {!split}, it does not depend on
+    how many draws preceded the derivation. The engine keys one stream
+    per process by pid (from the root seed), so a process's draw
+    sequence is invariant under the shard count: the run-level
+    shards-1 = shards-N determinism contract depends on this. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (the two copies then produce
     identical streams). *)

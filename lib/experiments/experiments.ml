@@ -257,7 +257,7 @@ let e7_recovery_blocks =
              back in trial order and the aggregation below is independent
              of [jobs]. *)
           let per_trial =
-            Parallel.map_indexed ~jobs
+            Parallel.map_indexed_shared ~jobs
               (fun i ->
                 let trial = i + 1 in
                 let wl = Rng.create ~seed:(1000 + trial) in
@@ -811,7 +811,7 @@ let e16_replication =
         let run_config ~replicas ~p_wrong =
           (* Per-trial fan-out: every trial owns its engine and RNG. *)
           let per_trial =
-            Parallel.map_indexed ~jobs
+            Parallel.map_indexed_shared ~jobs
               (fun i ->
                 let trial = i + 1 in
                 let rng = Rng.create ~seed:(trial * 7919) in

@@ -1,0 +1,80 @@
+(** The sharding crossover benchmark: when does splitting one engine's
+    event loop across shards pay for its barriers?
+
+    Ravi's "cost of concurrency" question, asked of the sharded
+    scheduler: a seeded messaging workload (workers spread over a fixed
+    site topology, a tunable fraction of sends crossing sites) runs at
+    several shard counts, cross-shard ratios and process counts. Every
+    cell reports its digest (which the determinism contract requires to
+    be byte-identical across shard counts), the engine's event and
+    barrier counters, and wall time; the report also times the whole cell
+    matrix through the persistent {!Parallel.shared} pool against one
+    domain, which is where the genuine multicore speedup lives (cells
+    are independent engines; inside one engine the canonical event order
+    is sequential by contract). Backs [altbench shard] and the
+    [@shard-smoke] alias. *)
+
+(** One point of the sweep. *)
+type cell = {
+  sb_shards : int;
+  sb_procs : int;
+  sb_cross : float;  (** Fraction of sends aimed at another site. *)
+}
+
+(** One measured cell. *)
+type sample = {
+  s_cell : cell;
+  s_digest : int64;
+      (** Folded over every delivered message (sender, payload, receipt
+          time) and the engine's event count — the byte-identity
+          witness. *)
+  s_events : int;  (** {!Engine.stats_events_processed}. *)
+  s_barriers : int;  (** {!Engine.stats_barriers} (0 when [sb_shards = 1]). *)
+  s_cross_msgs : int;  (** {!Engine.stats_cross_shard_msgs}. *)
+  s_wall_s : float;  (** Median wall seconds over the repetitions. *)
+}
+
+type report = {
+  r_seed : int;
+  r_rounds : int;  (** Sends per worker. *)
+  r_sites : int;  (** Fixed site topology size. *)
+  r_cores : int;
+  r_samples : sample list;  (** In cell order. *)
+  r_identical : bool;
+      (** Every (procs, cross) group produced one digest across all its
+          shard counts. *)
+  r_pool_jobs : int;
+  r_pool_speedup : float;
+      (** Sequential wall time over shared-pool wall time for the whole
+          cell matrix (independent engines — the sweep-level speedup).
+          Wall-clock: report, don't gate (the CLI warns below 2 cores). *)
+}
+
+val default_shards : int list
+val default_procs : int list
+val default_cross : float list
+
+val run :
+  ?seed:int ->
+  ?rounds:int ->
+  ?shard_counts:int list ->
+  ?proc_counts:int list ->
+  ?cross_ratios:float list ->
+  ?reps:int ->
+  unit ->
+  report
+(** Run the sweep. [rounds] (default 40) scales virtual work per cell;
+    [reps] (default 3) wall-time repetitions per cell, median kept.
+    Deterministic in [seed] except the wall-clock fields. *)
+
+val validate : report -> (unit, string list) result
+(** The deterministic contracts: byte-identical digests across shard
+    counts within every (procs, cross) group; zero barriers and zero
+    cross-shard messages on every 1-shard cell; cross-shard messages
+    actually staged (> 0) whenever [sb_shards > 1] and [sb_cross > 0];
+    event counts equal across shard counts. Wall-clock numbers are
+    deliberately not checked here. *)
+
+val to_json : report -> string
+(** Render as the [altbench-shard/1] JSON schema (the format committed
+    as [BENCH_shard.json]). *)

@@ -24,10 +24,7 @@ let grow t =
     t.heap <- h
   end
 
-let push t ~time v =
-  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  let e = { time; seq = t.next_seq; value = v } in
-  t.next_seq <- t.next_seq + 1;
+let push_entry t e =
   grow t;
   t.heap.(t.size) <- Some e;
   t.size <- t.size + 1;
@@ -46,40 +43,72 @@ let push t ~time v =
     i := parent
   done
 
+let push t ~time v =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let e = { time; seq = t.next_seq; value = v } in
+  t.next_seq <- t.next_seq + 1;
+  push_entry t e
+
+let push_stamped t ~time ~seq v =
+  if Float.is_nan time then invalid_arg "Event_queue.push_stamped: NaN time";
+  (* Caller-supplied stamp: the sharded engine orders every event by one
+     engine-global (time, stamp) key, so a queue must accept entries whose
+     stamps were issued elsewhere (and keep its own counter ahead of them,
+     so mixing [push] and [push_stamped] stays totally ordered). *)
+  if seq >= t.next_seq then t.next_seq <- seq + 1;
+  push_entry t { time; seq; value = v }
+
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    (* Clear the vacated slot: the heap array must not retain a live
+       reference to an entry (and its closure payload) after it leaves
+       the queue, or every popped event lives until its slot happens to
+       be overwritten — a real leak in long simulations. *)
+    t.heap.(t.size) <- None;
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
+      if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.heap.(!i) in
+        t.heap.(!i) <- t.heap.(!smallest);
+        t.heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end
+  else t.heap.(0) <- None
+
 let pop t =
   if t.size = 0 then None
   else begin
     let top = get t 0 in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      (* Clear the vacated slot: the heap array must not retain a live
-         reference to an entry (and its closure payload) after it leaves
-         the queue, or every popped event lives until its slot happens to
-         be overwritten — a real leak in long simulations. *)
-      t.heap.(t.size) <- None;
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
-        if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.heap.(!i) in
-          t.heap.(!i) <- t.heap.(!smallest);
-          t.heap.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end
-    else t.heap.(0) <- None;
+    remove_top t;
     Some (top.time, top.value)
   end
 
+let pop_entry t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    remove_top t;
+    Some (top.time, top.seq, top.value)
+  end
+
 let peek_time t = if t.size = 0 then None else Some (get t 0).time
+
+let peek_key t =
+  if t.size = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.time, e.seq)
 let stamp t = t.next_seq
 let size t = t.size
 let is_empty t = t.size = 0

@@ -33,6 +33,7 @@ type config = {
   sv_overhead : float;
   sv_sanitize : bool;
   sv_jobs : int;
+  sv_shards : int;
 }
 
 let default =
@@ -45,6 +46,7 @@ let default =
     sv_overhead = 0.0005;
     sv_sanitize = false;
     sv_jobs = 1;
+    sv_shards = 1;
   }
 
 type result = {
@@ -197,7 +199,7 @@ let execute_batch (wl : Workload.config) (sv : config) (cb : closed_batch) =
   let engine =
     Engine.create ~model:Cost_model.att_3b2
       ~seed:((wl.Workload.wl_seed * 1_000_003) + cb.cb_id)
-      ~trace:false ()
+      ~trace:false ~shards:(max 1 sv.sv_shards) ()
   in
   let sanitizer = if sv.sv_sanitize then Some (Sanitizer.attach engine) else None in
   let scenario = resolve_scenario cb.cb_scenario in
@@ -280,7 +282,7 @@ let run (wl : Workload.config) (sv : config) =
     invalid_arg "Server.run: wl_policies exceeds the policy matrix";
   let batches, rejected = plan wl sv requests in
   let executed =
-    Parallel.map_indexed ~jobs:(max 1 sv.sv_jobs)
+    Parallel.map_indexed_shared ~jobs:(max 1 sv.sv_jobs)
       (fun i -> execute_batch wl sv batches.(i))
       (Array.length batches)
   in

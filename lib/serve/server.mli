@@ -56,6 +56,9 @@ type config = {
   sv_overhead : float;  (** Fixed per-batch dispatch cost (s). *)
   sv_sanitize : bool;  (** Attach the online sanitizer to each engine. *)
   sv_jobs : int;  (** Domains executing batches. *)
+  sv_shards : int;
+      (** Event-loop shards inside each batch engine ({!Engine.create}
+          [?shards]); results are byte-identical for any value. *)
 }
 
 val default : config

@@ -219,7 +219,8 @@ let test_bench_record_schema () =
   check Alcotest.int "metrics count what the server counted"
     (r.Server.served + r.Server.failed)
     (m.Servebench.m_served + m.Servebench.m_failed);
-  match Servebench.validate (Servebench.to_json wl sv m v) with
+  let pc = Servebench.measure_pool_cost ~jobs:sv.Server.sv_jobs in
+  match Servebench.validate (Servebench.to_json wl sv m v pc) with
   | Ok n ->
       check Alcotest.int "all schema fields present"
         (List.length Servebench.required_fields)

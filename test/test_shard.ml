@@ -1,0 +1,325 @@
+(* Tests for the sharded engine: the byte-identity contract (shards-1 =
+   shards-N) over the run/fuzz/sites matrices with and without the online
+   sanitizer, barrier ordering under zero lookahead, per-process RNG
+   stream independence from shard residency, exception propagation
+   through the persistent shared pool, and the batch-join epoch guard
+   regression (the per-shard counter that falsely joins at shards >= 2,
+   kept compilable behind [debug_shard_local_epoch]). *)
+
+let check = Alcotest.check
+
+(* ---------------- matrix byte-identity ---------------- *)
+
+(* Render one checked invariant run to a digest line: everything the
+   report exposes plus the engine's canonical event count. Any scheduling
+   divergence between shard counts lands in at least one field. *)
+let render_invariant_run ((rr : Invariants.run), vs) =
+  let rep = rr.Invariants.report in
+  let outcome =
+    match rep.Concurrent.outcome with
+    | Alt_block.Selected { index; value } ->
+      Printf.sprintf "selected(%d)=%d" index value
+    | Alt_block.Block_failed r -> Printf.sprintf "failed(%S)" r
+  in
+  Printf.sprintf "%s/%s/%d: %s elapsed=%.9f wasted=%.9f events=%d viols=[%s]"
+    rr.Invariants.scenario.Invariants.sc_name
+    (Concurrent.describe rr.Invariants.policy)
+    rr.Invariants.seed outcome rep.Concurrent.elapsed rep.Concurrent.wasted_cpu
+    (Engine.stats_events_processed rr.Invariants.engine)
+    (String.concat "; "
+       (List.map (fun v -> Format.asprintf "%a" Report.pp_violation v) vs))
+
+let sweep_lines ~sanitize ~shards =
+  let cells = Invariants.matrix_cells ~seeds:1 () in
+  Invariants.run_cells ~sanitize ~shards cells
+  |> Array.to_list
+  |> List.map render_invariant_run
+
+let test_run_matrix_byte_identity () =
+  List.iter
+    (fun sanitize ->
+      let base = sweep_lines ~sanitize ~shards:1 in
+      List.iter
+        (fun shards ->
+          check
+            Alcotest.(list string)
+            (Printf.sprintf "run matrix shards-1 = shards-%d (sanitize=%b)"
+               shards sanitize)
+            base
+            (sweep_lines ~sanitize ~shards))
+        [ 2; 4 ])
+    [ false; true ]
+
+let fuzz_lines ~sanitize ~shards =
+  let campaigns =
+    List.filteri (fun i _ -> i < 3) Fuzz.default_campaigns
+  in
+  let r =
+    Fuzz.run ~seeds:1
+      ~scenarios:[ List.hd Invariants.default_scenarios ]
+      ~campaigns ~sanitize ~shards ()
+  in
+  r.Fuzz.lines
+  @ List.map (fun v -> Format.asprintf "%a" Report.pp_violation v) r.Fuzz.violations
+
+let test_fuzz_matrix_byte_identity () =
+  List.iter
+    (fun sanitize ->
+      let base = fuzz_lines ~sanitize ~shards:1 in
+      List.iter
+        (fun shards ->
+          check
+            Alcotest.(list string)
+            (Printf.sprintf "fuzz matrix shards-1 = shards-%d (sanitize=%b)"
+               shards sanitize)
+            base
+            (fuzz_lines ~sanitize ~shards))
+        [ 2; 4 ])
+    [ false; true ]
+
+let sites_lines ~sanitize ~shards =
+  let campaigns =
+    List.filteri (fun i _ -> i < 2) Sitefuzz.default_campaigns
+  in
+  let r = Sitefuzz.run ~seeds:1 ~campaigns ~sanitize ~shards () in
+  r.Sitefuzz.lines
+  @ List.map
+      (fun v -> Format.asprintf "%a" Report.pp_violation v)
+      r.Sitefuzz.violations
+
+let test_sites_matrix_byte_identity () =
+  List.iter
+    (fun sanitize ->
+      let base = sites_lines ~sanitize ~shards:1 in
+      List.iter
+        (fun shards ->
+          check
+            Alcotest.(list string)
+            (Printf.sprintf "sites matrix shards-1 = shards-%d (sanitize=%b)"
+               shards sanitize)
+            base
+            (sites_lines ~sanitize ~shards))
+        [ 2; 4 ])
+    [ false; true ]
+
+(* ---------------- zero-lookahead barrier ordering ---------------- *)
+
+(* The tightest barrier window: the uniform model's msg_latency is 0, so
+   the exchange horizon collapses to the earliest local event time.
+   Every send below crosses sites (and so, at shards-4, shards); the
+   whole storm happens at virtual time 0 where any ordering slip between
+   a staged flush and a local event is visible in the trace. *)
+let ring_trace ~shards =
+  let eng = Engine.create ~seed:11 ~shards () in
+  let n = 4 in
+  let pids = Array.of_list (Engine.fresh_pids eng n) in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.spawn eng ~pid:pids.(i) ~cloneable:false ~oblivious:true
+         ~name:(Printf.sprintf "r%d" i)
+         ~site:(Printf.sprintf "s%d" i)
+         (fun ctx ->
+           for round = 1 to 3 do
+             Engine.send ctx ~tag:"ring"
+               pids.((i + 1) mod n)
+               (Payload.int ((i * 100) + round))
+           done;
+           let rec drain k =
+             if k > 0 then begin
+               ignore (Engine.receive ctx ~tag:"ring" ());
+               drain (k - 1)
+             end
+           in
+           drain 3))
+  done;
+  Engine.run eng;
+  (Trace.to_jsonl (Engine.trace eng), eng)
+
+let test_zero_lookahead_ordering () =
+  let base, _ = ring_trace ~shards:1 in
+  let sharded, eng = ring_trace ~shards:4 in
+  check Alcotest.string "ring trace shards-1 = shards-4" base sharded;
+  check Alcotest.bool "the ring actually crossed shards" true
+    (Engine.stats_cross_shard_msgs eng > 0);
+  check Alcotest.bool "barrier exchanges happened" true
+    (Engine.stats_barriers eng > 0);
+  check Alcotest.int "residency counters aggregate exactly"
+    (Engine.stats_events_processed eng)
+    (Array.fold_left ( + ) 0 (Engine.stats_shard_events eng))
+
+(* ---------------- per-process RNG streams ---------------- *)
+
+(* Streams are keyed by (engine seed, pid), never by shard residency:
+   the draws each process sees must not depend on the shard count, and
+   distinct processes must not share a stream. *)
+let rng_draws ~shards =
+  let eng = Engine.create ~seed:77 ~shards () in
+  let n = 6 in
+  let draws = Array.make n [] in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.spawn eng ~cloneable:false ~oblivious:true
+         ~name:(Printf.sprintf "g%d" i)
+         ~site:(Printf.sprintf "s%d" (i mod 4))
+         (fun ctx ->
+           for _ = 1 to 4 do
+             draws.(i) <- Engine.random_bits ctx :: draws.(i);
+             Engine.delay ctx 0.001
+           done))
+  done;
+  Engine.run eng;
+  Array.map List.rev draws
+
+let test_rng_shard_independent () =
+  let d1 = rng_draws ~shards:1 in
+  let d4 = rng_draws ~shards:4 in
+  check Alcotest.bool "per-process draws identical at shards 1 and 4" true
+    (d1 = d4);
+  Array.iteri
+    (fun i di ->
+      Array.iteri
+        (fun j dj ->
+          if i < j then
+            check Alcotest.bool
+              (Printf.sprintf "processes %d and %d draw distinct streams" i j)
+              false (di = dj))
+        d1)
+    d1
+
+(* ---------------- shared-pool exception propagation ---------------- *)
+
+exception Boom of int
+
+let test_shared_pool_raises_lowest_index () =
+  (* Several jobs raise; the caller must see the lowest-indexed one, and
+     the persistent pool must survive to serve the next batch. *)
+  let raised =
+    try
+      ignore
+        (Parallel.map_indexed_shared ~jobs:4
+           (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+           10);
+      None
+    with Boom i -> Some i
+  in
+  check Alcotest.(option int) "lowest-indexed failure propagates" (Some 1)
+    raised;
+  let again = Parallel.map_indexed_shared ~jobs:4 (fun i -> i * i) 8 in
+  check
+    Alcotest.(array int)
+    "pool still serves after a raising batch"
+    (Array.init 8 (fun i -> i * i))
+    again
+
+(* ---------------- the batch-join epoch guard ----------------
+
+   The PR that introduced sharding had to re-derive the join guard's
+   epoch: under sharding the tempting per-shard execution counter is
+   NOT equivalent to the global one. Construction: src (site s0) sends
+   m1 and parks on an ivar; wake (site s1) fills the ivar in its own
+   start event, resuming src synchronously, and src sends m2 at the
+   same flush time with no intervening push. A filler on s1 that parks
+   first aligns the two shards' execution counters, so the shard-local
+   epoch at m2 (counted on s1's shard) coincides with the value
+   recorded at m1 (counted on s0's) — the broken guard joins a batch
+   the global order saw two events interleave into. *)
+
+let epoch_guard_run ~shards ~debug =
+  let eng = Engine.create ~shards ~debug_shard_local_epoch:debug () in
+  let got = ref [] in
+  let receiver =
+    Engine.spawn eng ~cloneable:false ~oblivious:true ~name:"sink" ~site:"s0"
+      (fun ctx ->
+        for _ = 1 to 2 do
+          got := (Engine.receive ctx ()).Message.payload :: !got
+        done)
+  in
+  let iv = Engine.Ivar.create () in
+  ignore
+    (Engine.spawn eng ~cloneable:false ~name:"src" ~site:"s0" (fun ctx ->
+         Engine.send ctx receiver (Payload.int 1);
+         ignore (Engine.Ivar.read ctx iv);
+         Engine.send ctx receiver (Payload.int 2)));
+  (* Parks forever: one counted event on s1's shard, no pushes. *)
+  ignore
+    (Engine.spawn eng ~cloneable:false ~oblivious:true ~name:"filler"
+       ~site:"s1" (fun ctx -> ignore (Engine.receive ctx ())));
+  ignore
+    (Engine.spawn eng ~cloneable:false ~oblivious:true ~name:"wake" ~site:"s1"
+       (fun _ctx -> ignore (Engine.Ivar.try_fill iv 0)));
+  Engine.run eng;
+  let batches =
+    Trace.count (Engine.trace eng) ~f:(function
+      | Trace.Delivered_batch _ -> true
+      | _ -> false)
+  in
+  let payloads =
+    List.rev_map (function Payload.Int i -> i | _ -> -1) !got
+  in
+  (Trace.to_jsonl (Engine.trace eng), batches, payloads)
+
+let test_epoch_guard_regression () =
+  let base_trace, base_batches, base_got = epoch_guard_run ~shards:1 ~debug:false in
+  check Alcotest.int "shards-1: the interleaved event split the batch" 0
+    base_batches;
+  check Alcotest.(list int) "shards-1: FIFO" [ 1; 2 ] base_got;
+  (* At one shard the local counter IS the global counter: the knob must
+     change nothing. *)
+  let t1d, _, _ = epoch_guard_run ~shards:1 ~debug:true in
+  check Alcotest.string "knob is inert at shards-1" base_trace t1d;
+  (* The fixed guard: shards-2 is byte-identical to shards-1. *)
+  let t2, _, _ = epoch_guard_run ~shards:2 ~debug:false in
+  check Alcotest.string "global epoch: shards-2 = shards-1" base_trace t2;
+  (* The regression: the per-shard epoch falsely joins at shards-2 — the
+     divergence this test exists to pin. *)
+  let t2d, broken_batches, broken_got = epoch_guard_run ~shards:2 ~debug:true in
+  check Alcotest.int "shard-local epoch falsely joins the batch" 1
+    broken_batches;
+  check Alcotest.bool "and the trace diverges from shards-1" false
+    (base_trace = t2d);
+  (* FIFO survives even the false join — the divergence is in delivery
+     batching, which is why the guard needs the trace to catch it. *)
+  check Alcotest.(list int) "payload FIFO survives regardless" [ 1; 2 ]
+    broken_got
+
+(* ---------------- engine argument validation ---------------- *)
+
+let test_create_rejects_bad_shards () =
+  check Alcotest.bool "shards:0 rejected" true
+    (try
+       ignore (Engine.create ~shards:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "byte-identity",
+        [
+          Alcotest.test_case "run matrix, shards 1/2/4, +/- sanitizer" `Quick
+            test_run_matrix_byte_identity;
+          Alcotest.test_case "fuzz matrix, shards 1/2/4, +/- sanitizer" `Quick
+            test_fuzz_matrix_byte_identity;
+          Alcotest.test_case "sites matrix, shards 1/2/4, +/- sanitizer"
+            `Quick test_sites_matrix_byte_identity;
+          Alcotest.test_case "zero-lookahead ring ordering" `Quick
+            test_zero_lookahead_ordering;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "streams independent of shard residency" `Quick
+            test_rng_shard_independent;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "lowest-indexed exception, pool survives" `Quick
+            test_shared_pool_raises_lowest_index;
+        ] );
+      ( "epoch-guard",
+        [
+          Alcotest.test_case "per-shard epoch diverges; global one holds"
+            `Quick test_epoch_guard_regression;
+          Alcotest.test_case "create validates shards" `Quick
+            test_create_rejects_bad_shards;
+        ] );
+    ]
