@@ -693,6 +693,47 @@ let check_report ~scenario ~policy ~seed (rep : _ Concurrent.report) =
   | Concurrent.Consensus _ -> ());
   List.rev !out
 
+(* The supervised variant: audit the inner report, then the recovery
+   bookkeeping — a recovered request must look like exactly what it is,
+   one epoch-fenced incarnation per restart, never a winner invented by
+   a dead coordinator. *)
+let check_supervised_report ~scenario ~policy ~seed
+    (sr : _ Concurrent.supervised_report) =
+  let out = ref (check_report ~scenario ~policy ~seed sr.Concurrent.sr_report) in
+  let add cls d =
+    out :=
+      !out
+      @ [ Report.violation cls ~scenario ~policy:(Concurrent.describe policy)
+            ~seed d ]
+  in
+  let recoveries = List.length sr.Concurrent.sr_recoveries in
+  if sr.Concurrent.sr_incarnations < 1 then
+    add Report.Elimination "supervised block launched no incarnation";
+  if sr.Concurrent.sr_incarnations <> recoveries + 1 then
+    add Report.Elimination
+      (Printf.sprintf "%d incarnations but %d recoveries"
+         sr.Concurrent.sr_incarnations recoveries);
+  if sr.Concurrent.sr_epoch <> sr.Concurrent.sr_incarnations then
+    add Report.At_most_once
+      (Printf.sprintf
+         "report epoch %d is not the last incarnation's (%d): a stale \
+          incarnation answered through the fence"
+         sr.Concurrent.sr_epoch sr.Concurrent.sr_incarnations);
+  List.iteri
+    (fun i (_, _, epoch) ->
+      if epoch <> i + 2 then
+        add Report.At_most_once
+          (Printf.sprintf "recovery %d fenced to epoch %d, expected %d" i
+             epoch (i + 2)))
+    sr.Concurrent.sr_recoveries;
+  (match (sr.Concurrent.sr_report.Concurrent.outcome,
+          sr.Concurrent.sr_coordinator) with
+  | Alt_block.Selected _, None ->
+    add Report.At_most_once
+      "a decided supervised block has no final coordinator"
+  | _ -> ());
+  !out
+
 (* ------------------------------------------------------------------ *)
 (* The policy matrix.                                                  *)
 

@@ -127,6 +127,21 @@ val check_report :
     latch. A sound subset of the replay checkers, cheap enough to run on
     every served request (the serving engines keep trace recording off). *)
 
+val check_supervised_report :
+  scenario:string ->
+  policy:Concurrent.policy ->
+  seed:int ->
+  'a Concurrent.supervised_report ->
+  Report.violation list
+(** {!check_report} on the inner report, plus the recovery bookkeeping:
+    one incarnation per recovery plus the original, recoveries fenced to
+    consecutive epochs (2, 3, ...), the answering incarnation the last
+    one launched (a stale epoch answering through the fence is the
+    supervised analogue of a double win), and a decided block names its
+    final coordinator. The serving layer audits every [--faults] request
+    with this — a [Recovered] verdict must be exactly as trustworthy as
+    a [Served] one. *)
+
 val policy_matrix : Concurrent.policy list
 (** Every combination of elimination strategy (3) x synchronisation mode
     (local latch, 3-node consensus) x guard placement (4), local

@@ -134,6 +134,22 @@ let registry =
          conflicting)";
       source = "lib/lint/lint.ml";
     };
+    {
+      code = 23;
+      label = "serve-chaos";
+      meaning =
+        "the chaos-serve campaign found invariant violations, a phantom \
+         winner, or a determinism divergence";
+      source = "lib/serve/chaosserve.ml";
+    };
+    {
+      code = 24;
+      label = "serve-degrade";
+      meaning =
+        "the degradation-ladder benchmark regressed: ladder goodput below \
+         the shed-only baseline, violations, or an invalid record";
+      source = "lib/serve/chaosserve.ml";
+    };
   ]
 
 let code_of_label label =

@@ -195,16 +195,25 @@ let acquire_verdict ctx t ~reply_timeout =
 
 let acquire ctx t ~reply_timeout = acquire_verdict ctx t ~reply_timeout = Granted
 
-let acquire_retry ctx t ?(epoch = 0) ~reply_timeout ?(retries = 0)
-    ?(backoff = 0.01) () =
+let acquire_retry ctx t ?(epoch = 0) ?(deadline = infinity) ~reply_timeout
+    ?(retries = 0) ?(backoff = 0.01) () =
   let rec go k =
     match acquire_verdict_epoch ctx t ~epoch ~reply_timeout with
     | No_quorum when k < retries ->
       (* Deterministic exponential backoff in virtual time: delay, then
          run a fresh round (fresh round id, so leftovers of this one are
-         discarded by the round stamp). *)
-      if backoff > 0. then Engine.delay ctx (backoff *. (2. ** float_of_int k));
-      go (k + 1)
+         discarded by the round stamp). A retry is only worth taking if
+         the backoff plus a full reply wait still fits inside the
+         caller's deadline — a block-local retry budget must never
+         overrun the request's remaining virtual-time budget, so a
+         round that could not complete in time is not started and the
+         undecided verdict is returned as-is. *)
+      let wait = if backoff > 0. then backoff *. (2. ** float_of_int k) else 0. in
+      if Engine.now_v ctx +. wait +. reply_timeout > deadline then No_quorum
+      else begin
+        if wait > 0. then Engine.delay ctx wait;
+        go (k + 1)
+      end
     | v -> v
   in
   go 0

@@ -75,6 +75,7 @@ val acquire_retry :
   Engine.ctx ->
   t ->
   ?epoch:int ->
+  ?deadline:float ->
   reply_timeout:float ->
   ?retries:int ->
   ?backoff:float ->
@@ -86,7 +87,15 @@ val acquire_retry :
     (default [backoff] 0.01; pass [0.] for immediate retries). [Granted]
     and [Denied] return immediately — only an undecided round retries.
     Deterministic: backoff burns virtual time through {!Engine.delay}, so
-    identical seeds replay identical schedules. *)
+    identical seeds replay identical schedules.
+
+    [deadline] (absolute virtual time, default [infinity]) bounds the
+    retry budget by the {e request's} remaining budget, not just the
+    block's: a retry whose backoff plus full reply wait would end past
+    the deadline is not attempted — [No_quorum] is returned instead, so
+    a deadline-bound caller is never left mid-round when its budget
+    expires. The serving layer threads each request's deadline down
+    here; see [Concurrent.run]'s [?deadline]. *)
 
 val owner : t -> Pid.t option
 (** The requester that a majority of voters granted, if decided and

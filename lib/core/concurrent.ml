@@ -115,7 +115,7 @@ let child_predicate parent_pred pids i =
   add p 0
 
 let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0)
-    ?(exclusive = false) alts =
+    ?(exclusive = false) ?(deadline = infinity) alts =
   let eng = Engine.engine ctx in
   let model = Engine.model eng in
   let n = List.length alts in
@@ -315,9 +315,9 @@ let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0)
                   | Local -> assert false
                 in
                 (match
-                   Majority.acquire_retry child_ctx maj ~epoch ~reply_timeout
-                     ~retries:policy.sync_retries ~backoff:policy.sync_backoff
-                     ()
+                   Majority.acquire_retry child_ctx maj ~epoch ~deadline
+                     ~reply_timeout ~retries:policy.sync_retries
+                     ~backoff:policy.sync_backoff ()
                  with
                 | Majority.Granted ->
                   ignore
@@ -354,9 +354,15 @@ let run ctx ?(policy = default_policy) ?consensus:borrowed ?(epoch = 0)
                   ignore (Engine.Ivar.try_fill latch All_failed_l))
         end)
       alt_arr;
-    (* alt_wait: rendezvous with the first successful child. *)
+    (* alt_wait: rendezvous with the first successful child. The wait is
+       bounded by the policy's own timeout and by whatever remains of the
+       request deadline — a deadline-bound block must resolve (degrade or
+       fail) the moment its budget runs out, not at the block timeout. *)
+    let wait_budget =
+      Float.min policy.timeout (Float.max 0. (deadline -. Engine.now_v ctx))
+    in
     let decision =
-      match Engine.Ivar.read_timeout ctx latch ~timeout:policy.timeout with
+      match Engine.Ivar.read_timeout ctx latch ~timeout:wait_budget with
       | Some v -> Some v
       | None -> Engine.Ivar.peek latch (* a fill racing the deadline wins *)
     in
@@ -539,7 +545,7 @@ type 'a supervised_report = {
 }
 
 let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
-    ~sites alts =
+    ?(deadline = infinity) ?(avoid_sites = []) ~sites alts =
   let consensus =
     match policy.sync with
     | Local ->
@@ -556,10 +562,20 @@ let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
   let incarnations = ref 0 in
   let recoveries = ref [] in
   let coordinators = ref [] in  (* (pid, its space, space is ours) newest first *)
+  (* Placement prefers alive sites whose circuit breaker (if the caller
+     runs one) has not been tripped; when every alive site is to be
+     avoided, avoidance yields — serving a request on a suspect site
+     beats not serving it at all. *)
   let pick_site epoch =
     match Sites.alive_sites sites with
     | [] -> None
-    | alive -> Some (List.nth alive ((epoch - 1) mod List.length alive))
+    | alive ->
+      let usable =
+        match List.filter (fun s -> not (List.mem s avoid_sites)) alive with
+        | [] -> alive
+        | preferred -> preferred
+      in
+      Some (List.nth usable ((epoch - 1) mod List.length usable))
   in
   let rec launch ~epoch ~site ~space_now ~ours ~start_delay =
     incr incarnations;
@@ -567,7 +583,8 @@ let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
       Engine.spawn eng ?space:space_now ~cloneable:false
         ~name:(Printf.sprintf "alt-parent.e%d" epoch)
         ~site ~start_delay
-        (fun ctx -> result := Some (epoch, run ctx ~policy ~consensus ~epoch alts))
+        (fun ctx ->
+          result := Some (epoch, run ctx ~policy ~consensus ~epoch ~deadline alts))
     in
     if Option.is_some space_now then Engine.preserve_space eng pid;
     coordinators := (pid, space_now, ours) :: !coordinators;
@@ -578,7 +595,11 @@ let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
           List.iter
             (fun c -> Engine.kill eng c ~reason:"orphaned alternative")
             (Engine.children_of eng pid);
-          if !incarnations <= max_restarts then begin
+          (* A restart past the request deadline could only deliver a
+             late answer: spend the remaining budget on nothing and
+             report the coordinator lost, honestly. *)
+          if !incarnations <= max_restarts && Engine.now eng < deadline
+          then begin
             let epoch' = epoch + 1 in
             match pick_site epoch' with
             | None -> () (* every site is down: nowhere to restart *)
@@ -662,11 +683,11 @@ let run_supervised eng ?(policy = default_policy) ?space ?(max_restarts = 2)
     sr_space = final_space;
   }
 
-let run_toplevel eng ?policy ?space ?exclusive alts =
+let run_toplevel eng ?policy ?space ?exclusive ?deadline alts =
   let result = ref None in
   let pid =
     Engine.spawn eng ?space ~cloneable:false ~name:"alt-parent" (fun ctx ->
-        result := Some (run ctx ?policy ?exclusive alts))
+        result := Some (run ctx ?policy ?exclusive ?deadline alts))
   in
   (* The caller owns the space it passed in and may inspect the absorbed
      state after the run. *)

@@ -154,6 +154,7 @@ val run :
   ?consensus:Majority.t ->
   ?epoch:int ->
   ?exclusive:bool ->
+  ?deadline:float ->
   'a Alternative.t list ->
   'a report
 (** Execute the block from inside a process. The calling process blocks (as
@@ -182,13 +183,22 @@ val run :
     Passing [exclusive] on a block that is {e not} mutually exclusive
     forfeits the distributed at-most-once guarantee the policy asked for
     — it is the caller's proof obligation, which is why only the static
-    analyzer's [Independent] verdict should ever set it. *)
+    analyzer's [Independent] verdict should ever set it.
+
+    [deadline] (absolute virtual time, default [infinity]) is the
+    request's remaining budget, threaded down from the serving layer: it
+    caps the [alt_wait] rendezvous (the block resolves — degrades or
+    fails — when the budget runs out, even if the policy timeout is
+    longer) and rides into every child's consensus retry loop
+    ({!Majority.acquire_retry}'s [?deadline]), so block-local retry
+    budgets can never overrun the request deadline. *)
 
 val run_toplevel :
   Engine.t ->
   ?policy:policy ->
   ?space:Address_space.t ->
   ?exclusive:bool ->
+  ?deadline:float ->
   'a Alternative.t list ->
   'a report
 (** Convenience for tests and benchmarks: spawn a fresh root process,
@@ -236,6 +246,8 @@ val run_supervised :
   ?policy:policy ->
   ?space:Address_space.t ->
   ?max_restarts:int ->
+  ?deadline:float ->
+  ?avoid_sites:string list ->
   sites:Sites.t ->
   'a Alternative.t list ->
   'a supervised_report
@@ -243,9 +255,18 @@ val run_supervised :
     [Consensus] sync policy ([Invalid_argument] otherwise); voters are
     spread round-robin over [sites]' names via {!Majority.create}'s
     [?sites]. Incarnation [e] (epoch [e], process name ["alt-parent.e<e>"])
-    is placed on the [(e-1) mod n]-th currently-alive site, so a restart
+    is placed on the [(e-1) mod n]-th usable site, so a restart
     lands away from the site that just failed; the restart is charged the
     checkpoint's transfer cost as its start delay. At most [max_restarts]
     (default 2) recoveries are attempted; if every incarnation dies (or no
     site survives), the result reports [Block_failed "coordinator lost"] —
-    honestly, never a phantom winner. *)
+    honestly, never a phantom winner.
+
+    [deadline] (absolute virtual time, default [infinity]) bounds the
+    recovery budget: it is threaded into every incarnation's block (see
+    {!run}'s [?deadline]) and no relaunch is attempted at or past it —
+    a recovered answer that could only arrive late is reported as the
+    coordinator loss it is. [avoid_sites] excludes sites from placement
+    ({e preference}, not a hard ban: if every alive site is listed,
+    avoidance yields to availability) — the serving layer passes the
+    sites whose circuit breakers are open. *)

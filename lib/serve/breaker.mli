@@ -1,0 +1,55 @@
+(** Per-site circuit breakers, deterministic in virtual time.
+
+    One breaker per (batch engine, site). [bk_threshold] consecutive
+    failures attributed to the site open the breaker for [bk_cooldown]
+    virtual seconds; coordinator placement then routes around it. When
+    the cooldown elapses, the next {!allow} query half-opens the breaker
+    and admits exactly one probe request: the probe's success closes the
+    breaker, its failure reopens it for a fresh cooldown.
+
+    Everything is driven by virtual-time observations the serving layer
+    already makes (job completion verdicts, supervised recovery
+    records), never the wall clock, so breaker trajectories are a pure
+    function of the run's seeds — replay-identical, and scoped to one
+    batch engine so jobs-1 = jobs-N holds batch by batch. *)
+
+type t
+
+type state =
+  | Closed  (** Healthy: requests flow. *)
+  | Open of { until : float }
+      (** Tripped: no placement until virtual time [until]. *)
+  | Half_open  (** Cooldown elapsed; one probe is in flight. *)
+
+type config = {
+  bk_threshold : int;  (** Consecutive failures that trip the breaker. *)
+  bk_cooldown : float;  (** Virtual seconds an open breaker holds. *)
+}
+
+val default : config
+(** 3 consecutive failures, 0.5 s cooldown. *)
+
+val create : config -> t
+(** A closed breaker. [bk_threshold >= 1], [bk_cooldown > 0]
+    ([Invalid_argument] otherwise). *)
+
+val allow : t -> now:float -> bool
+(** May a request be placed on this site at virtual time [now]?
+    Transitions [Open] to [Half_open] when the cooldown has elapsed —
+    the caller that sees the transition {e is} the probe, atomically, so
+    no two requests can both claim the probe slot. *)
+
+val record_success : t -> unit
+(** A request on this site completed cleanly: reset the failure run and
+    close the breaker (a successful probe re-admits the site). *)
+
+val record_failure : t -> now:float -> unit
+(** A request on this site failed. In [Closed], counts toward the
+    threshold and may trip the breaker; in [Half_open], the probe failed
+    — reopen with a fresh cooldown; in [Open], tally only. *)
+
+val state : t -> state
+
+val opens : t -> int
+(** Times the breaker tripped (Closed/Half_open to Open transitions) —
+    reported in the serve metrics. *)

@@ -28,15 +28,34 @@ let create ~rate ~burst =
   if burst < 1 then invalid_arg "Quota.create: burst must be >= 1";
   { rate; burst; base = 0.; steps = 0; admits = 0 }
 
+let conforming t ~now =
+  (now -. t.base) *. t.rate >= float_of_int (t.steps - t.burst + 1)
+
+let charge t ~now =
+  let tat = t.base +. (float_of_int t.steps /. t.rate) in
+  if now > tat then begin
+    t.base <- now;
+    t.steps <- 1
+  end
+  else t.steps <- t.steps + 1;
+  t.admits <- t.admits + 1
+
 let admit t ~now =
-  if (now -. t.base) *. t.rate >= float_of_int (t.steps - t.burst + 1) then begin
-    let tat = t.base +. (float_of_int t.steps /. t.rate) in
-    if now > tat then begin
-      t.base <- now;
-      t.steps <- 1
-    end
-    else t.steps <- t.steps + 1;
-    t.admits <- t.admits + 1;
+  if conforming t ~now then begin
+    charge t ~now;
+    true
+  end
+  else false
+
+(* Multi-class admission: a request is admitted only when every
+   applicable bucket conforms, and tokens are consumed only then. The
+   check/charge split is what keeps composite sheds pure — a request
+   denied by its tenant bucket must not burn a token from the global
+   one, or shed traffic would push every other tenant's refill schedule
+   around. *)
+let admit_all buckets ~now =
+  if List.for_all (fun t -> conforming t ~now) buckets then begin
+    List.iter (fun t -> charge t ~now) buckets;
     true
   end
   else false

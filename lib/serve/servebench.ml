@@ -1,9 +1,15 @@
 type metrics = {
   m_requests : int;
   m_served : int;
+  m_degraded : int;
+  m_recovered : int;
   m_failed : int;
   m_shed : int;
+  m_shed_overload : int;
   m_shed_rate : float;
+  m_goodput : float;
+  m_breaker_opens : int;
+  m_ladder_transitions : int;
   m_p50 : float;
   m_p99 : float;
   m_p999 : float;
@@ -31,7 +37,8 @@ let metrics_of (sv : Server.config) (r : Server.result) =
       (fun acc (rs : Server.response) -> Float.max acc rs.Server.rs_completion)
       0. r.Server.responses
   in
-  let executed = r.Server.served + r.Server.failed in
+  let good = r.Server.served + r.Server.degraded + r.Server.recovered in
+  let executed = good + r.Server.failed in
   let occupancy = Array.make (max 1 sv.Server.sv_max_batch) 0 in
   Array.iter
     (fun (bs : Server.batch_stat) ->
@@ -41,9 +48,15 @@ let metrics_of (sv : Server.config) (r : Server.result) =
   {
     m_requests = n;
     m_served = r.Server.served;
+    m_degraded = r.Server.degraded;
+    m_recovered = r.Server.recovered;
     m_failed = r.Server.failed;
     m_shed = r.Server.shed;
+    m_shed_overload = r.Server.shed_overload;
     m_shed_rate = (if n = 0 then 0. else float_of_int r.Server.shed /. float_of_int n);
+    m_goodput = (if makespan > 0. then float_of_int good /. makespan else 0.);
+    m_breaker_opens = r.Server.breaker_opens;
+    m_ladder_transitions = r.Server.ladder_transitions;
     m_p50 = pct 50.;
     m_p99 = pct 99.;
     m_p999 = pct 99.9;
@@ -107,7 +120,9 @@ let required_fields =
   [
     "benchmark"; "seed"; "requests"; "rate"; "tenants"; "lanes"; "max_batch";
     "window_s"; "quota_rate"; "quota_burst"; "jobs"; "cores"; "served";
-    "failed"; "shed"; "shed_rate"; "latency_p50_s"; "latency_p99_s";
+    "degraded"; "recovered"; "failed"; "shed"; "shed_overload"; "shed_rate";
+    "goodput_per_s"; "breaker_opens"; "ladder_transitions"; "faults_seed";
+    "latency_p50_s"; "latency_p99_s";
     "latency_p999_s"; "makespan_s"; "req_per_sec"; "batches";
     "batch_occupancy"; "violations"; "digest"; "replay_identical";
     "jobs_identical"; "shards"; "pool_spawn_s"; "pool_reuse_s";
@@ -138,9 +153,17 @@ let to_json (wl : Workload.config) (sv : Server.config) (m : metrics)
       Printf.sprintf "  %S: %d," "shards" sv.Server.sv_shards;
       Printf.sprintf "  %S: %d," "cores" (Parallel.default_jobs ());
       Printf.sprintf "  %S: %d," "served" m.m_served;
+      Printf.sprintf "  %S: %d," "degraded" m.m_degraded;
+      Printf.sprintf "  %S: %d," "recovered" m.m_recovered;
       Printf.sprintf "  %S: %d," "failed" m.m_failed;
       Printf.sprintf "  %S: %d," "shed" m.m_shed;
+      Printf.sprintf "  %S: %d," "shed_overload" m.m_shed_overload;
       Printf.sprintf "  %S: %.4f," "shed_rate" m.m_shed_rate;
+      Printf.sprintf "  %S: %.1f," "goodput_per_s" m.m_goodput;
+      Printf.sprintf "  %S: %d," "breaker_opens" m.m_breaker_opens;
+      Printf.sprintf "  %S: %d," "ladder_transitions" m.m_ladder_transitions;
+      Printf.sprintf "  %S: %d," "faults_seed"
+        (match sv.Server.sv_faults with Some s -> s | None -> -1);
       Printf.sprintf "  %S: %.6f," "latency_p50_s" m.m_p50;
       Printf.sprintf "  %S: %.6f," "latency_p99_s" m.m_p99;
       Printf.sprintf "  %S: %.6f," "latency_p999_s" m.m_p999;

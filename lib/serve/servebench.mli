@@ -9,9 +9,18 @@
 type metrics = {
   m_requests : int;
   m_served : int;
+  m_degraded : int;  (** [Served_degraded] answers (ladder rungs 1-2). *)
+  m_recovered : int;  (** [Recovered] answers (supervised restarts). *)
   m_failed : int;
   m_shed : int;
+  m_shed_overload : int;  (** Ladder bottom-rung sheds, of [m_shed]. *)
   m_shed_rate : float;  (** Shed / total arrivals. *)
+  m_goodput : float;
+      (** Good answers (served + degraded + recovered) per virtual
+          second of makespan — the figure the degrade benchmark
+          compares ladder-vs-shed-only on. *)
+  m_breaker_opens : int;
+  m_ladder_transitions : int;
   m_p50 : float;  (** Latency percentiles over executed (non-shed) *)
   m_p99 : float;  (** requests, virtual seconds. *)
   m_p999 : float;

@@ -1,7 +1,13 @@
+type reject_cause =
+  | Quota_exhausted of { tokens : float }
+  | Overload of { backlog : float }
+
 type verdict =
   | Served of { alt : int; value : int }
+  | Served_degraded of { alt : int; value : int; level : int }
+  | Recovered of { alt : int; value : int; epochs : int }
+  | Rejected of reject_cause
   | Failed of string
-  | Rejected of { tokens : float }
 
 type response = {
   rs_id : int;
@@ -18,6 +24,7 @@ type batch_stat = {
   bs_id : int;
   bs_scenario : string;
   bs_policy : int;
+  bs_level : int;
   bs_size : int;
   bs_close : float;
   bs_start : float;
@@ -30,6 +37,15 @@ type config = {
   sv_window : float;
   sv_quota_rate : float;
   sv_quota_burst : int;
+  sv_scenario_rate : float;
+  sv_scenario_burst : int;
+  sv_global_rate : float;
+  sv_global_burst : int;
+  sv_ladder : Controller.config;
+  sv_deadline : float;
+  sv_faults : int option;
+  sv_retry_budget : int;
+  sv_breaker : Breaker.config;
   sv_overhead : float;
   sv_sanitize : bool;
   sv_jobs : int;
@@ -43,6 +59,15 @@ let default =
     sv_window = 0.05;
     sv_quota_rate = 50.;
     sv_quota_burst = 10;
+    sv_scenario_rate = 0.;
+    sv_scenario_burst = 1;
+    sv_global_rate = 0.;
+    sv_global_burst = 1;
+    sv_ladder = Controller.default ~lanes:64;
+    sv_deadline = infinity;
+    sv_faults = None;
+    sv_retry_budget = 2;
+    sv_breaker = Breaker.default;
     sv_overhead = 0.0005;
     sv_sanitize = false;
     sv_jobs = 1;
@@ -54,8 +79,14 @@ type result = {
   batches : batch_stat array;
   violations : Report.violation list;
   served : int;
+  degraded : int;
+  recovered : int;
   failed : int;
   shed : int;
+  shed_overload : int;
+  breaker_opens : int;
+  ladder_transitions : int;
+  peak_pressure : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -63,15 +94,17 @@ type result = {
 
    A single sequential scan over the (already time-ordered) arrivals.
    Everything here is plain arithmetic on the request stream — no
-   engine, no parallelism — so the admission decisions and batch
-   boundaries are trivially a function of the two configs. Batches are
-   keyed by (scenario, policy): jobs in one batch share an engine, so
-   they must agree on everything that shapes it. *)
+   engine, no parallelism — so the admission decisions, ladder rungs and
+   batch boundaries are trivially a function of the two configs. Batches
+   are keyed by (scenario, policy, ladder rung): jobs in one batch share
+   an engine and an effective policy, so they must agree on everything
+   that shapes both. *)
 
 type open_batch = {
   ob_seq : int;  (* open order, breaks deadline ties deterministically *)
   ob_scenario : string;
   ob_policy : int;
+  ob_level : int;
   ob_deadline : float;
   mutable ob_jobs : Workload.request list;  (* newest first *)
   mutable ob_count : int;
@@ -81,6 +114,7 @@ type closed_batch = {
   cb_id : int;
   cb_scenario : string;
   cb_policy : int;
+  cb_level : int;
   cb_close : float;
   cb_jobs : Workload.request array;  (* arrival order *)
 }
@@ -90,16 +124,40 @@ let close_batch ~id ~at ob =
     cb_id = id;
     cb_scenario = ob.ob_scenario;
     cb_policy = ob.ob_policy;
+    cb_level = ob.ob_level;
     cb_close = at;
     cb_jobs = Array.of_list (List.rev ob.ob_jobs);
   }
 
+type admission_stats = {
+  ad_shed_overload : int;
+  ad_transitions : int;
+  ad_peak_pressure : float;
+}
+
 let plan (wl : Workload.config) (sv : config) (requests : Workload.request array)
     =
-  let quotas =
+  let tenant_quotas =
     Array.init wl.Workload.wl_tenants (fun _ ->
         Quota.create ~rate:sv.sv_quota_rate ~burst:sv.sv_quota_burst)
   in
+  (* The optional wider quota classes: per-scenario and global buckets.
+     A request must pass every applicable class; the conforming/charge
+     split inside [Quota.admit_all] guarantees a shed consumes from
+     none. *)
+  let scenario_quotas =
+    if sv.sv_scenario_rate <= 0. then []
+    else
+      List.map
+        (fun s ->
+          (s, Quota.create ~rate:sv.sv_scenario_rate ~burst:sv.sv_scenario_burst))
+        wl.Workload.wl_scenarios
+  in
+  let global_quota =
+    if sv.sv_global_rate <= 0. then None
+    else Some (Quota.create ~rate:sv.sv_global_rate ~burst:sv.sv_global_burst)
+  in
+  let ladder = Controller.create sv.sv_ladder in
   let opens : open_batch list ref = ref [] in
   let open_seq = ref 0 in
   let closed = ref [] in
@@ -129,57 +187,89 @@ let plan (wl : Workload.config) (sv : config) (requests : Workload.request array
     (fun (rq : Workload.request) ->
       let now = rq.Workload.rq_arrival in
       expire now;
-      let q = quotas.(rq.Workload.rq_tenant) in
-      if not (Quota.admit q ~now) then
-        rejected := (rq, Quota.tokens q ~now) :: !rejected
+      let buckets =
+        (tenant_quotas.(rq.Workload.rq_tenant)
+         :: (match List.assoc_opt rq.Workload.rq_scenario scenario_quotas with
+            | Some q -> [ q ]
+            | None -> []))
+        @ (match global_quota with Some q -> [ q ] | None -> [])
+      in
+      if not (Quota.admit_all buckets ~now) then begin
+        (* The honest refusal names the binding constraint: the fewest
+           tokens any applicable class held. *)
+        let tokens =
+          List.fold_left
+            (fun acc q -> Float.min acc (Quota.tokens q ~now))
+            infinity buckets
+        in
+        rejected := (rq, Quota_exhausted { tokens }) :: !rejected
+      end
       else begin
-        let key ob =
-          String.equal ob.ob_scenario rq.Workload.rq_scenario
-          && ob.ob_policy = rq.Workload.rq_policy
+        let cls =
+          rq.Workload.rq_scenario ^ "/" ^ string_of_int rq.Workload.rq_policy
         in
-        let ob =
-          match List.find_opt key !opens with
-          | Some ob -> ob
-          | None ->
-              let ob =
-                {
-                  ob_seq = !open_seq;
-                  ob_scenario = rq.Workload.rq_scenario;
-                  ob_policy = rq.Workload.rq_policy;
-                  ob_deadline = now +. sv.sv_window;
-                  ob_jobs = [];
-                  ob_count = 0;
-                }
-              in
-              incr open_seq;
-              opens := !opens @ [ ob ];
-              ob
-        in
-        ob.ob_jobs <- rq :: ob.ob_jobs;
-        ob.ob_count <- ob.ob_count + 1;
-        if ob.ob_count >= sv.sv_max_batch then begin
-          opens := List.filter (fun o -> o != ob) !opens;
-          emit_close ~at:now ob
-        end
+        match
+          Controller.decide ladder ~cls ~now ~work:rq.Workload.rq_work
+        with
+        | Controller.Shed { backlog } ->
+            rejected := (rq, Overload { backlog }) :: !rejected
+        | Controller.Admit { level } ->
+            let key ob =
+              String.equal ob.ob_scenario rq.Workload.rq_scenario
+              && ob.ob_policy = rq.Workload.rq_policy
+              && ob.ob_level = level
+            in
+            let ob =
+              match List.find_opt key !opens with
+              | Some ob -> ob
+              | None ->
+                  let ob =
+                    {
+                      ob_seq = !open_seq;
+                      ob_scenario = rq.Workload.rq_scenario;
+                      ob_policy = rq.Workload.rq_policy;
+                      ob_level = level;
+                      ob_deadline = now +. sv.sv_window;
+                      ob_jobs = [];
+                      ob_count = 0;
+                    }
+                  in
+                  incr open_seq;
+                  opens := !opens @ [ ob ];
+                  ob
+            in
+            ob.ob_jobs <- rq :: ob.ob_jobs;
+            ob.ob_count <- ob.ob_count + 1;
+            if ob.ob_count >= sv.sv_max_batch then begin
+              opens := List.filter (fun o -> o != ob) !opens;
+              emit_close ~at:now ob
+            end
       end)
     requests;
   expire infinity;
-  (Array.of_list (List.rev !closed), List.rev !rejected)
+  let stats =
+    {
+      ad_shed_overload = Controller.overload_sheds ladder;
+      ad_transitions = Controller.transitions ladder;
+      ad_peak_pressure = Controller.peak_pressure ladder;
+    }
+  in
+  (Array.of_list (List.rev !closed), List.rev !rejected, stats)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2: batch execution.
 
    One engine per batch, jobs run back to back on it. The engine's seed
    is derived from (workload seed, batch id) only, and batches share no
-   mutable state, so executing them on N domains in any order gives the
-   same per-batch results as one domain in dispatch order —
-   [Parallel.map_indexed] then hands them back in batch order either
-   way. Trace recording stays off (these runs are throughput, not
-   post-mortem); the sanitizer, when requested, watches through the
-   trace observer, which is live even with recording off. *)
+   mutable state — sites topology, fault plan, circuit breakers and
+   sanitizer are all scoped to the batch engine — so executing batches
+   on N domains in any order gives the same per-batch results as one
+   domain in dispatch order. Trace recording stays off (these runs are
+   throughput, not post-mortem); the sanitizer, when requested, watches
+   through the trace observer, which is live even with recording off. *)
 
 type job_result = {
-  jr_outcome : int Alt_block.outcome;
+  jr_verdict : verdict;
   jr_elapsed : float;
   jr_wasted : float;
   jr_violations : Report.violation list;
@@ -195,15 +285,110 @@ let resolve_policy idx =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Server.run: policy index %d" idx)
 
+(* The serving layer's static exclusivity registry: scenarios whose
+   alternatives are provably mutually exclusive by construction, the
+   proof obligation `?exclusive` demands. "guarded" builds one closed
+   guard, one alternative that always raises, and exactly one that can
+   succeed; "all-fail" has no succeeding alternative at all. "counters"
+   and "teletype" race genuinely independent successes and must keep
+   their distributed latch. (The same judgement Lint's [Independent]
+   verdict encodes for Prolog goals, hand-established here because these
+   scenarios are OCaml closures.) *)
+let proven_exclusive = function "guarded" | "all-fail" -> true | _ -> false
+
+(* Five named failure domains per faulted batch engine, like the
+   altcheck sites campaigns: voters spread across all five, coordinators
+   placed per epoch. *)
+let fault_sites = [ "s0"; "s1"; "s2"; "s3"; "s4" ]
+
+(* The per-batch chaos campaign, derived from the batch id alone (the
+   plan seed mixes in the fault seed): a third of the batches lose the
+   first coordinator site mid-request, a third suffer a healed
+   partition that isolates it, a third run clean. 0.06-0.08 s is the
+   consensus window of the first job (children spawn ~0.07 s in,
+   consensus traffic runs ~0.08-0.10 s), so the injection lands
+   mid-decision; later jobs in the batch inherit the crashed topology,
+   which is what exercises placement and the circuit breakers. *)
+let fault_rules cb_id =
+  match cb_id mod 3 with
+  | 0 -> [ Faultplan.crash_site ~at:0.06 ~jitter:0.02 "s0" ]
+  | 1 ->
+      [
+        Faultplan.partition_sites ~at:0.06 ~jitter:0.02 ~heal_after:0.08
+          [ "s0" ]
+          [ "s1"; "s2"; "s3"; "s4" ];
+      ]
+  | _ -> []
+
+(* Ladder rung 2: first-fit sequential execution in a fresh root
+   process, no speculation. The report is fabricated — honestly: it
+   claims no winner, no children and no sync traffic, and flags itself
+   degraded, which is exactly the shape [Invariants.check_report]
+   demands of a sequential fallback. *)
+let run_sequential engine ~space alts =
+  let outcome = ref None in
+  let t0 = Engine.now engine in
+  let pid =
+    Engine.spawn engine ~space ~cloneable:false ~name:"alt-seq" (fun ctx ->
+        outcome := Some (Alt_block.run_first ctx alts))
+  in
+  Engine.preserve_space engine pid;
+  Engine.run engine;
+  (!outcome, Engine.now engine -. t0)
+
 let execute_batch (wl : Workload.config) (sv : config) (cb : closed_batch) =
   let engine =
     Engine.create ~model:Cost_model.att_3b2
       ~seed:((wl.Workload.wl_seed * 1_000_003) + cb.cb_id)
       ~trace:false ~shards:(max 1 sv.sv_shards) ()
   in
+  let sites =
+    match sv.sv_faults with
+    | None -> None
+    | Some fseed ->
+        let sites = Sites.create engine ~names:fault_sites in
+        let plan =
+          Faultplan.make
+            ~seed:((fseed * 1_000_003) + cb.cb_id)
+            (fault_rules cb.cb_id)
+        in
+        Faultplan.install ~sites plan engine;
+        Some sites
+  in
+  let breakers = Hashtbl.create 8 in
+  let breaker site =
+    match Hashtbl.find_opt breakers site with
+    | Some b -> b
+    | None ->
+        let b = Breaker.create sv.sv_breaker in
+        Hashtbl.add breakers site b;
+        b
+  in
   let sanitizer = if sv.sv_sanitize then Some (Sanitizer.attach engine) else None in
   let scenario = resolve_scenario cb.cb_scenario in
   let policy = resolve_policy cb.cb_policy in
+  let consensus_policy =
+    match policy.Concurrent.sync with
+    | Concurrent.Consensus _ -> true
+    | Concurrent.Local -> false
+  in
+  (* The batch's rung, resolved to an execution mode once. A rung-1
+     class keeps its at-most-once story: scenarios in the static
+     exclusivity registry elide consensus through `?exclusive` (same
+     winner, zero sync messages); everything else downgrades to the
+     local latch. A rung-1 request that already asked for the local
+     latch gets exactly what it asked for — that is full service, not a
+     degradation, and is labelled honestly as such. *)
+  let eff_policy, eff_exclusive, eff_level =
+    match cb.cb_level with
+    | 0 -> (policy, false, 0)
+    | 1 when consensus_policy && proven_exclusive cb.cb_scenario ->
+        (policy, true, 1)
+    | 1 when consensus_policy ->
+        ({ policy with Concurrent.sync = Concurrent.Local }, false, 1)
+    | 1 -> (policy, false, 0)
+    | _ -> ({ policy with Concurrent.sync = Concurrent.Local }, false, 2)
+  in
   Array.map
     (fun (rq : Workload.request) ->
       let space =
@@ -231,21 +416,156 @@ let execute_batch (wl : Workload.config) (sv : config) (cb : closed_batch) =
       let alts =
         scenario.Invariants.alts engine ~seed:rq.Workload.rq_seed ~source
       in
-      let report = Concurrent.run_toplevel engine ~policy ~space alts in
-      let violations =
-        Invariants.check_report ~scenario:cb.cb_scenario ~policy
-          ~seed:rq.Workload.rq_seed report
+      let t_start = Engine.now engine in
+      let deadline = t_start +. sv.sv_deadline in
+      let jr =
+        if eff_level = 2 then begin
+          let outcome, elapsed = run_sequential engine ~space alts in
+          match outcome with
+          | None ->
+              (* The root died mid-fallback (site fault): no outcome,
+                 no invented one. *)
+              {
+                jr_verdict = Failed "coordinator lost";
+                jr_elapsed = elapsed;
+                jr_wasted = 0.;
+                jr_violations = [];
+              }
+          | Some outcome ->
+              let attempted =
+                match outcome with
+                | Alt_block.Selected { index; _ } -> index + 1
+                | Alt_block.Block_failed _ -> List.length alts
+              in
+              let rep =
+                {
+                  Concurrent.outcome;
+                  winner = None;
+                  children = [];
+                  elapsed;
+                  setup_cost = 0.;
+                  spawned = 0;
+                  selection_cost = 0.;
+                  wasted_cpu = 0.;
+                  child_cow_copies = 0;
+                  sync_messages = 0;
+                  attempted;
+                  degraded = true;
+                }
+              in
+              let violations =
+                Invariants.check_report ~scenario:cb.cb_scenario
+                  ~policy:eff_policy ~seed:rq.Workload.rq_seed rep
+              in
+              let verdict =
+                match outcome with
+                | Alt_block.Selected { index; value } ->
+                    Served_degraded { alt = index; value; level = 2 }
+                | Alt_block.Block_failed reason -> Failed reason
+              in
+              {
+                jr_verdict = verdict;
+                jr_elapsed = elapsed;
+                jr_wasted = 0.;
+                jr_violations = violations;
+              }
+        end
+        else begin
+          let supervise =
+            Option.is_some sites && consensus_policy && eff_level = 0
+          in
+          if supervise then begin
+            let sites = Option.get sites in
+            let avoid =
+              List.filter
+                (fun s -> not (Breaker.allow (breaker s) ~now:t_start))
+                fault_sites
+            in
+            let sr =
+              Concurrent.run_supervised engine ~policy ~space
+                ~max_restarts:sv.sv_retry_budget ~deadline ~avoid_sites:avoid
+                ~sites alts
+            in
+            let now = Engine.now engine in
+            (* Every incarnation that died charges its site's breaker;
+               the final incarnation settles its own site by outcome. *)
+            List.iter
+              (fun (failed, _successor, _epoch) ->
+                match Engine.site_of engine failed with
+                | Some s -> Breaker.record_failure (breaker s) ~now
+                | None -> ())
+              sr.Concurrent.sr_recoveries;
+            (match sr.Concurrent.sr_site with
+            | Some s -> (
+                match sr.Concurrent.sr_report.Concurrent.outcome with
+                | Alt_block.Selected _ -> Breaker.record_success (breaker s)
+                | Alt_block.Block_failed _ ->
+                    Breaker.record_failure (breaker s) ~now)
+            | None -> ());
+            let violations =
+              Invariants.check_supervised_report ~scenario:cb.cb_scenario
+                ~policy ~seed:rq.Workload.rq_seed sr
+            in
+            let rep = sr.Concurrent.sr_report in
+            let verdict =
+              match rep.Concurrent.outcome with
+              | Alt_block.Selected { index; value } ->
+                  if sr.Concurrent.sr_recoveries <> [] then
+                    Recovered
+                      { alt = index; value; epochs = sr.Concurrent.sr_epoch }
+                  else Served { alt = index; value }
+              | Alt_block.Block_failed reason -> Failed reason
+            in
+            {
+              jr_verdict = verdict;
+              jr_elapsed = rep.Concurrent.elapsed;
+              jr_wasted = rep.Concurrent.wasted_cpu;
+              jr_violations = violations;
+            }
+          end
+          else begin
+            match
+              Concurrent.run_toplevel engine ~policy:eff_policy ~space
+                ~exclusive:eff_exclusive ~deadline alts
+            with
+            | rep ->
+                let violations =
+                  Invariants.check_report ~scenario:cb.cb_scenario
+                    ~policy:eff_policy ~seed:rq.Workload.rq_seed rep
+                in
+                let verdict =
+                  match rep.Concurrent.outcome with
+                  | Alt_block.Selected { index; value } when eff_level > 0 ->
+                      Served_degraded { alt = index; value; level = eff_level }
+                  | Alt_block.Selected { index; value } ->
+                      Served { alt = index; value }
+                  | Alt_block.Block_failed reason -> Failed reason
+                in
+                {
+                  jr_verdict = verdict;
+                  jr_elapsed = rep.Concurrent.elapsed;
+                  jr_wasted = rep.Concurrent.wasted_cpu;
+                  jr_violations = violations;
+                }
+            | exception Failure _ when Option.is_some sites ->
+                (* The unsupervised root was killed by the fault campaign
+                   (rung >= 1 trades the watchdog away, and local-latch
+                   blocks never had one): an honest loss, never a made-up
+                   answer. *)
+                {
+                  jr_verdict = Failed "coordinator lost";
+                  jr_elapsed = Engine.now engine -. t_start;
+                  jr_wasted = 0.;
+                  jr_violations = [];
+                }
+          end
+        end
       in
       (* The engine hosts the next job's block too: reset the sanitizer's
          at-most-once scope so job n+1's win is not a "duplicate" of job
          n's. *)
       (match sanitizer with Some sz -> Sanitizer.next_block sz | None -> ());
-      {
-        jr_outcome = report.Concurrent.outcome;
-        jr_elapsed = report.Concurrent.elapsed;
-        jr_wasted = report.Concurrent.wasted_cpu;
-        jr_violations = violations;
-      })
+      jr)
     cb.cb_jobs
   |> fun results ->
   let sz_viols =
@@ -257,7 +577,15 @@ let execute_batch (wl : Workload.config) (sv : config) (cb : closed_batch) =
           ~policy:(Concurrent.describe policy)
           ~seed:cb.cb_id
   in
-  (results, sz_viols)
+  let opens =
+    List.fold_left
+      (fun acc site ->
+        match Hashtbl.find_opt breakers site with
+        | Some b -> acc + Breaker.opens b
+        | None -> acc)
+      0 fault_sites
+  in
+  (results, sz_viols, opens)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 3: the lane timeline.
@@ -274,13 +602,16 @@ let run (wl : Workload.config) (sv : config) =
   if sv.sv_max_batch < 1 then invalid_arg "Server.run: max_batch must be >= 1";
   if sv.sv_window < 0. then invalid_arg "Server.run: negative window";
   if sv.sv_overhead < 0. then invalid_arg "Server.run: negative overhead";
+  if sv.sv_deadline <= 0. then invalid_arg "Server.run: deadline must be > 0";
+  if sv.sv_retry_budget < 0 then
+    invalid_arg "Server.run: negative retry budget";
   let requests = Workload.generate wl in
   List.iter
     (fun name -> ignore (resolve_scenario name))
     wl.Workload.wl_scenarios;
   if wl.Workload.wl_policies > List.length Invariants.policy_matrix then
     invalid_arg "Server.run: wl_policies exceeds the policy matrix";
-  let batches, rejected = plan wl sv requests in
+  let batches, rejected, ad = plan wl sv requests in
   let executed =
     Parallel.map_indexed_shared ~jobs:(max 1 sv.sv_jobs)
       (fun i -> execute_batch wl sv batches.(i))
@@ -300,13 +631,13 @@ let run (wl : Workload.config) (sv : config) =
       }
   in
   List.iter
-    (fun ((rq : Workload.request), tokens) ->
+    (fun ((rq : Workload.request), cause) ->
       responses.(rq.Workload.rq_id) <-
         {
           rs_id = rq.Workload.rq_id;
           rs_tenant = rq.Workload.rq_tenant;
           rs_batch = -1;
-          rs_verdict = Rejected { tokens };
+          rs_verdict = Rejected cause;
           rs_completion = rq.Workload.rq_arrival;
           rs_latency = 0.;
           rs_elapsed = 0.;
@@ -316,10 +647,13 @@ let run (wl : Workload.config) (sv : config) =
   let lane_free = Array.make sv.sv_lanes 0. in
   let violations = ref [] in
   let served = ref 0 and failed = ref 0 in
+  let degraded = ref 0 and recovered = ref 0 in
+  let breaker_opens = ref 0 in
   let stats =
     Array.mapi
       (fun b (cb : closed_batch) ->
-        let jobs, sz_viols = executed.(b) in
+        let jobs, sz_viols, opens = executed.(b) in
+        breaker_opens := !breaker_opens + opens;
         let lane = ref 0 in
         for l = 1 to sv.sv_lanes - 1 do
           if lane_free.(l) < lane_free.(!lane) then lane := l
@@ -330,22 +664,19 @@ let run (wl : Workload.config) (sv : config) =
           (fun j (rq : Workload.request) ->
             let jr = jobs.(j) in
             t := !t +. (jr.jr_elapsed *. rq.Workload.rq_work);
-            let verdict =
-              match jr.jr_outcome with
-              | Alt_block.Selected { index; value } ->
-                  incr served;
-                  Served { alt = index; value }
-              | Alt_block.Block_failed reason ->
-                  incr failed;
-                  Failed reason
-            in
+            (match jr.jr_verdict with
+            | Served _ -> incr served
+            | Served_degraded _ -> incr degraded
+            | Recovered _ -> incr recovered
+            | Failed _ -> incr failed
+            | Rejected _ -> assert false (* rejections never reach a batch *));
             violations := List.rev_append jr.jr_violations !violations;
             responses.(rq.Workload.rq_id) <-
               {
                 rs_id = rq.Workload.rq_id;
                 rs_tenant = rq.Workload.rq_tenant;
                 rs_batch = cb.cb_id;
-                rs_verdict = verdict;
+                rs_verdict = jr.jr_verdict;
                 rs_completion = !t;
                 rs_latency = !t -. rq.Workload.rq_arrival;
                 rs_elapsed = jr.jr_elapsed;
@@ -358,6 +689,7 @@ let run (wl : Workload.config) (sv : config) =
           bs_id = cb.cb_id;
           bs_scenario = cb.cb_scenario;
           bs_policy = cb.cb_policy;
+          bs_level = cb.cb_level;
           bs_size = Array.length cb.cb_jobs;
           bs_close = cb.cb_close;
           bs_start = start;
@@ -370,16 +702,29 @@ let run (wl : Workload.config) (sv : config) =
     batches = stats;
     violations = List.rev !violations;
     served = !served;
+    degraded = !degraded;
+    recovered = !recovered;
     failed = !failed;
     shed = List.length rejected;
+    shed_overload = ad.ad_shed_overload;
+    breaker_opens = !breaker_opens;
+    ladder_transitions = ad.ad_transitions;
+    peak_pressure = ad.ad_peak_pressure;
   }
 
 (* ------------------------------------------------------------------ *)
 
 let render_verdict = function
   | Served { alt; value } -> Printf.sprintf "served:%d:%d" alt value
+  | Served_degraded { alt; value; level } ->
+      Printf.sprintf "degraded:L%d:%d:%d" level alt value
+  | Recovered { alt; value; epochs } ->
+      Printf.sprintf "recovered:e%d:%d:%d" epochs alt value
   | Failed reason -> Printf.sprintf "failed:%s" reason
-  | Rejected { tokens } -> Printf.sprintf "rejected:%.17g" tokens
+  | Rejected (Quota_exhausted { tokens }) ->
+      Printf.sprintf "rejected:%.17g" tokens
+  | Rejected (Overload { backlog }) ->
+      Printf.sprintf "rejected:overload:%.17g" backlog
 
 let render_response rs =
   Printf.sprintf "%d|%d|%d|%s|%.17g|%.17g|%.17g|%.17g" rs.rs_id rs.rs_tenant

@@ -234,6 +234,41 @@ let test_verdict_denied_is_final () =
   check Alcotest.bool "denial did not trigger backoff" true
     (Engine.now eng < 5.)
 
+let test_retry_never_overruns_deadline () =
+  (* Deadline propagation into the retry backoff: a requester facing a
+     silent majority must stop retrying as soon as the next round could
+     not finish inside its request deadline. The control run below is
+     the pre-fix behaviour — the same retry schedule without a deadline
+     burns through every backoff round, far past the budget the serving
+     layer granted the request. *)
+  let deadline = 0.5 in
+  let run_with ?deadline () =
+    let eng = mk () in
+    let m = Majority.create eng ~nodes:3 ~crashed:[ 0; 1 ] () in
+    let got = ref None and finished = ref 0. in
+    ignore
+      (Engine.spawn eng (fun ctx ->
+           got :=
+             Some
+               (Majority.acquire_retry ctx m ?deadline ~reply_timeout:0.2
+                  ~retries:5 ~backoff:0.1 ());
+           finished := Engine.now_v ctx;
+           Majority.shutdown m));
+    Engine.run eng;
+    (!got, !finished)
+  in
+  let bounded, t_bounded = run_with ~deadline () in
+  check (Alcotest.option verdict) "honest verdict: still no quorum"
+    (Some Majority.No_quorum) bounded;
+  check Alcotest.bool "gave up within the request deadline" true
+    (t_bounded <= deadline);
+  let unbounded, t_unbounded = run_with () in
+  check (Alcotest.option verdict) "control also ends in no-quorum"
+    (Some Majority.No_quorum) unbounded;
+  check Alcotest.bool
+    "without the deadline the retry schedule overruns the budget" true
+    (t_unbounded > deadline)
+
 let test_verdict_no_quorum_when_majority_silent () =
   let eng = mk () in
   let m = Majority.create eng ~nodes:3 ~crashed:[ 0; 1 ] () in
@@ -295,6 +330,8 @@ let () =
             test_malformed_request_does_not_consume_grant;
           Alcotest.test_case "denied is final, skips backoff" `Quick
             test_verdict_denied_is_final;
+          Alcotest.test_case "retries never overrun the request deadline"
+            `Quick test_retry_never_overruns_deadline;
           Alcotest.test_case "silent majority is no-quorum" `Quick
             test_verdict_no_quorum_when_majority_silent;
         ] );

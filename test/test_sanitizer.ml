@@ -182,6 +182,80 @@ let test_clean_run_parity () =
   check Alcotest.int "no online flags" 0
     (Sanitizer.flag_count (Option.get rr.Invariants.sanitizer))
 
+(* ---------------- at-most-once scope across supervised restarts ------- *)
+
+let supervised_policy =
+  {
+    Concurrent.default_policy with
+    Concurrent.sync =
+      Concurrent.Consensus
+        { nodes = 5; crashed = []; vote_delay = 0.0002; reply_timeout = 0.05 };
+    sync_retries = 2;
+    sync_backoff = 0.02;
+  }
+
+let supervised_block eng sites ~seed =
+  let counters = List.hd Invariants.default_scenarios in
+  let space =
+    Address_space.create (Engine.frame_store eng) (Engine.model eng)
+  in
+  Address_space.set_tracking space true;
+  counters.Invariants.prepare eng space;
+  let alts = counters.Invariants.alts eng ~seed ~source:None in
+  Concurrent.run_supervised eng ~policy:supervised_policy ~space ~sites alts
+
+(* One engine, one sanitizer, two supervised blocks back to back — the
+   first one losing its coordinator mid-consensus and recovering behind
+   the epoch fence. The failed incarnation and its recovered successor
+   belong to the same block: the successor's win must not read as a
+   duplicate of anything the dead epoch did. Then [next_block] resets
+   the scope, and the second block's win must not read as a duplicate
+   of the recovered one's. The control at the end shows the reset is
+   what stands between the two blocks: without it the second win is
+   exactly the at-most-once leak the scope exists to prevent. *)
+let test_next_block_across_supervised_restart () =
+  let run ~reset_scope =
+    let eng = Engine.create ~seed:11 ~model:Cost_model.att_3b2 () in
+    let sz = Sanitizer.attach eng in
+    let sites =
+      Sites.create eng ~names:[ "s0"; "s1"; "s2"; "s3"; "s4" ]
+    in
+    (* The sitefuzz crash-coordinator campaign: s0 (coordinator, children,
+       voter 0) dies mid-consensus, the watchdog recovers on a survivor. *)
+    Faultplan.install ~sites
+      (Faultplan.make ~seed:42
+         [ Faultplan.crash_site ~at:0.07 ~jitter:0.015 "s0" ])
+      eng;
+    let sr1 = supervised_block eng sites ~seed:1 in
+    let flags_after_first = Sanitizer.flag_count sz in
+    if reset_scope then Sanitizer.next_block sz;
+    let sr2 = supervised_block eng sites ~seed:2 in
+    Sanitizer.detach sz;
+    (sr1, flags_after_first, sr2, sz)
+  in
+  let sr1, flags_after_first, sr2, sz = run ~reset_scope:true in
+  check Alcotest.bool "the campaign really forced a recovery" true
+    (sr1.Concurrent.sr_recoveries <> []);
+  check Alcotest.bool "recovered block decided" true
+    (match sr1.Concurrent.sr_report.Concurrent.outcome with
+    | Alt_block.Selected _ -> true
+    | Alt_block.Block_failed _ -> false);
+  check Alcotest.int
+    "no at-most-once leak between the failed and recovered incarnations" 0
+    flags_after_first;
+  check Alcotest.bool "second block decided too" true
+    (match sr2.Concurrent.sr_report.Concurrent.outcome with
+    | Alt_block.Selected _ -> true
+    | Alt_block.Block_failed _ -> false);
+  check Alcotest.int "scoped blocks stay clean across the restart" 0
+    (Sanitizer.flag_count sz);
+  (* The control: same engine history, no scope reset — the second
+     block's win is (wrongly, absent next_block) a second win in the
+     first block's scope and must be flagged. *)
+  let _, _, _, sz_leak = run ~reset_scope:false in
+  check Alcotest.bool "without next_block the second win leaks" true
+    (has_class Report.At_most_once (Sanitizer.flags sz_leak))
+
 let () =
   Alcotest.run "sanitizer"
     [
@@ -193,6 +267,8 @@ let () =
             test_forged_win_caught_online;
           Alcotest.test_case "shared-space race caught at the write" `Quick
             test_shared_space_caught_at_write;
+          Alcotest.test_case "next_block scopes supervised restarts" `Quick
+            test_next_block_across_supervised_restart;
         ] );
       ( "contract",
         [

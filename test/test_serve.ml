@@ -74,6 +74,57 @@ let test_quota_burst_and_refusal () =
      token is back, regardless of how many refusals happened. *)
   check Alcotest.bool "refill after shed burst" true (Quota.admit q ~now:0.1)
 
+(* Composed quota classes (tenant x scenario x global): a request is
+   admitted only when every class conforms, and a composite shed
+   charges none of them — the all-or-nothing contract admission relies
+   on so one starved class cannot silently drain the others. *)
+
+let test_quota_classes_all_or_nothing () =
+  let tenant = Quota.create ~rate:10. ~burst:2 in
+  let global = Quota.create ~rate:10. ~burst:1 in
+  check Alcotest.bool "both conform: admitted" true
+    (Quota.admit_all [ tenant; global ] ~now:0.);
+  (* The global bucket is now empty; the tenant still holds a token. *)
+  check Alcotest.bool "one class starved: shed" false
+    (Quota.admit_all [ tenant; global ] ~now:0.);
+  check Alcotest.int "composite shed charged the tenant nothing" 1
+    (Quota.admitted tenant);
+  check Alcotest.bool "tenant token survived the composite shed" true
+    (Quota.tokens tenant ~now:0. >= 1.);
+  (* After a global refill period both conform again — the shed left no
+     debt anywhere. *)
+  check Alcotest.bool "refill readmits" true
+    (Quota.admit_all [ tenant; global ] ~now:0.1)
+
+let test_quota_classes_no_drift_over_1e6 () =
+  (* The PR 8 drift test, lifted to the composed form: three classes at
+     the same binary-exact rate, arrivals exactly on the refill
+     boundary. Every arrival must pass all three, a million times, with
+     the admit counts in lockstep — any float drift in any class breaks
+     the equality. *)
+  let n = 1_000_000 in
+  let mk () = Quota.create ~rate:1024. ~burst:1 in
+  let a = mk () and b = mk () and c = mk () in
+  for k = 0 to n - 1 do
+    ignore (Quota.admit_all [ a; b; c ] ~now:(float_of_int k /. 1024.))
+  done;
+  List.iter
+    (fun q -> check Alcotest.int "boundary arrivals all admitted" n
+        (Quota.admitted q))
+    [ a; b; c ];
+  (* Half-period arrivals with one tight class: the tight bucket
+     alternates admit/shed exactly, and the loose buckets must show
+     exactly the same count — composite sheds never charge them. *)
+  let tight = mk () in
+  let loose = Quota.create ~rate:4096. ~burst:8 in
+  for k = 0 to n - 1 do
+    ignore (Quota.admit_all [ loose; tight ] ~now:(float_of_int k /. 2048.))
+  done;
+  check Alcotest.int "tight class alternates exactly" (n / 2)
+    (Quota.admitted tight);
+  check Alcotest.int "loose class charged only on admits" (n / 2)
+    (Quota.admitted loose)
+
 (* ------------------------------------------------------------------ *)
 (* Zero-timeout pure polls inside an admission-shed path.
 
@@ -139,11 +190,16 @@ let test_timeout_zero_polls_in_shed_path () =
 
 let small_wl = { Workload.default with Workload.wl_requests = 300 }
 
+let answered (r : Server.result) =
+  r.Server.served + r.Server.degraded + r.Server.recovered + r.Server.failed
+  + r.Server.shed
+
 let test_batch_invariants () =
   let r = Server.run small_wl Server.default in
-  check Alcotest.int "every request answered"
-    small_wl.Workload.wl_requests
-    (r.Server.served + r.Server.failed + r.Server.shed);
+  check Alcotest.int "every request answered" small_wl.Workload.wl_requests
+    (answered r);
+  check Alcotest.int "default config never degrades" 0
+    (r.Server.degraded + r.Server.recovered + r.Server.shed_overload);
   let requests = Workload.generate small_wl in
   Array.iter
     (fun (bs : Server.batch_stat) ->
@@ -159,10 +215,12 @@ let test_batch_invariants () =
     (fun (rs : Server.response) ->
       let rq = requests.(rs.Server.rs_id) in
       match rs.Server.rs_verdict with
-      | Server.Rejected { tokens } ->
+      | Server.Rejected (Server.Quota_exhausted { tokens }) ->
           check Alcotest.int "rejections carry no batch" (-1) rs.Server.rs_batch;
           check Alcotest.bool "honest refusal: bucket really was empty" true
             (tokens < 1.)
+      | Server.Rejected (Server.Overload _) ->
+          Alcotest.fail "ladder disabled: no overload sheds possible"
       | _ ->
           check Alcotest.bool "completion after arrival" true
             (rs.Server.rs_completion > rq.Workload.rq_arrival);
@@ -183,8 +241,28 @@ let test_starved_quota_sheds_honestly () =
   check Alcotest.bool "starved quota sheds most of the stream" true
     (r.Server.shed > small_wl.Workload.wl_requests / 2);
   check Alcotest.int "every request still answered"
-    small_wl.Workload.wl_requests
-    (r.Server.served + r.Server.failed + r.Server.shed)
+    small_wl.Workload.wl_requests (answered r)
+
+let test_starved_quota_classes_shed_honestly () =
+  (* A tight global class behind generous tenant buckets: the composite
+     must shed most of the stream, name the binding constraint in the
+     verdict, and the response census must still balance. *)
+  let sv =
+    { Server.default with Server.sv_global_rate = 1.; sv_global_burst = 1 }
+  in
+  let r = Server.run small_wl sv in
+  check Alcotest.bool "starved global class sheds most of the stream" true
+    (r.Server.shed > small_wl.Workload.wl_requests / 2);
+  check Alcotest.int "every request still answered"
+    small_wl.Workload.wl_requests (answered r);
+  Array.iter
+    (fun (rs : Server.response) ->
+      match rs.Server.rs_verdict with
+      | Server.Rejected (Server.Quota_exhausted { tokens }) ->
+          check Alcotest.bool "refusal names the binding (empty) class" true
+            (tokens < 1.)
+      | _ -> ())
+    r.Server.responses
 
 (* ------------------------------------------------------------------ *)
 (* The determinism contract, end to end.                               *)
@@ -219,6 +297,8 @@ let test_bench_record_schema () =
   check Alcotest.int "metrics count what the server counted"
     (r.Server.served + r.Server.failed)
     (m.Servebench.m_served + m.Servebench.m_failed);
+  check Alcotest.int "degraded/recovered counters flow through" 0
+    (m.Servebench.m_degraded + m.Servebench.m_recovered);
   let pc = Servebench.measure_pool_cost ~jobs:sv.Server.sv_jobs in
   match Servebench.validate (Servebench.to_json wl sv m v pc) with
   | Ok n ->
@@ -242,6 +322,10 @@ let () =
             test_quota_no_drift_over_1e6;
           Alcotest.test_case "burst then refusal then refill" `Quick
             test_quota_burst_and_refusal;
+          Alcotest.test_case "composed classes are all-or-nothing" `Quick
+            test_quota_classes_all_or_nothing;
+          Alcotest.test_case "composed classes: no drift across 10^6" `Quick
+            test_quota_classes_no_drift_over_1e6;
         ] );
       ( "shed path",
         [
@@ -254,6 +338,8 @@ let () =
             test_batch_invariants;
           Alcotest.test_case "starved quota sheds honestly" `Quick
             test_starved_quota_sheds_honestly;
+          Alcotest.test_case "starved quota classes shed honestly" `Quick
+            test_starved_quota_classes_shed_honestly;
           Alcotest.test_case "replay identical, jobs-1 = jobs-N" `Quick
             test_replay_and_jobs_identical;
           Alcotest.test_case "sanitized run stays clean" `Quick
